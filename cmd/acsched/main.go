@@ -1,0 +1,115 @@
+// Command acsched builds a static voltage schedule (ACS or WCS) for a task
+// set and prints it as a table, a CSV, or an ASCII Gantt chart.
+//
+// Usage:
+//
+//	acsched -in taskset.json -objective acs -format gantt
+//	taskgen -n 4 | acsched -objective wcs -format csv
+//
+// The built-in task sets are available without a file:
+//
+//	acsched -builtin cnc -ratio 0.1 -format table
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
+		builtin   = flag.String("builtin", "", "built-in task set: cnc, gap, motivation")
+		ratio     = flag.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
+		util      = flag.Float64("util", 0.7, "utilisation for built-in sets")
+		objective = flag.String("objective", "acs", "objective: acs or wcs")
+		format    = flag.String("format", "table", "output: table, csv, gantt")
+		subCap    = flag.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
+		sweeps    = flag.Int("sweeps", 0, "max coordinate-descent sweeps (0 = default)")
+	)
+	flag.Parse()
+
+	set, err := loadSet(*in, *builtin, *ratio, *util)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := core.Config{MaxSweeps: *sweeps}
+	cfg.Preempt.MaxSubsPerInstance = *subCap
+	switch *objective {
+	case "acs":
+		cfg.Objective = core.AverageCase
+	case "wcs":
+		cfg.Objective = core.WorstCase
+	default:
+		fail(fmt.Errorf("unknown objective %q (want acs or wcs)", *objective))
+	}
+
+	if cfg.Objective == core.AverageCase {
+		// Warm-start ACS from WCS, as the experiments do.
+		wcsCfg := cfg
+		wcsCfg.Objective = core.WorstCase
+		if wcs, err := core.Build(set, wcsCfg); err == nil {
+			cfg.WarmStart = wcs
+		}
+	}
+	s, err := core.Build(set, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	switch *format {
+	case "table":
+		fmt.Printf("%s schedule for %s: %d sub-instances, objective energy %.6g (%d sweeps)\n",
+			s.Objective, set, len(s.Plan.Subs), s.Energy, s.Sweeps)
+		fmt.Print(trace.CSV(s))
+	case "csv":
+		fmt.Print(trace.CSV(s))
+	case "gantt":
+		fmt.Print(trace.Gantt(s, 100))
+	default:
+		fail(fmt.Errorf("unknown format %q (want table, csv, gantt)", *format))
+	}
+}
+
+func loadSet(in, builtin string, ratio, util float64) (*task.Set, error) {
+	switch builtin {
+	case "cnc":
+		return workload.CNC(ratio, util, nil)
+	case "gap":
+		return workload.GAP(ratio, util, nil)
+	case "motivation":
+		return experiments.MotivationSet()
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (want cnc, gap, motivation)", builtin)
+	}
+	r := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var set task.Set
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("parsing task set: %w", err)
+	}
+	return &set, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command dvssim simulates the online DVS runtime over a task set: it builds
+// the ACS and WCS static schedules, runs both under identical stochastic
+// workloads, and reports energies, voltage statistics and the improvement
+// percentage (the quantity Fig. 6 plots).
+//
+// Usage:
+//
+//	dvssim -builtin cnc -ratio 0.1 -reps 1000 -seed 7
+//	taskgen -n 8 -ratio 0.1 | dvssim -reps 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
+		builtin = flag.String("builtin", "", "built-in task set: cnc, gap, motivation")
+		ratio   = flag.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
+		util    = flag.Float64("util", 0.7, "utilisation for built-in sets")
+		reps    = flag.Int("reps", 1000, "hyper-periods to simulate")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		policy  = flag.String("policy", "greedy", "slack policy: greedy, static, nodvs")
+		dist    = flag.String("dist", "paper", "workload distribution: paper, uniform, bimodal, acec, wcec")
+		subCap  = flag.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
+	)
+	flag.Parse()
+
+	set, err := loadSet(*in, *builtin, *ratio, *util)
+	if err != nil {
+		fail(err)
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	d, err := parseDist(*dist)
+	if err != nil {
+		fail(err)
+	}
+
+	pre := core.Config{}
+	pre.Preempt.MaxSubsPerInstance = *subCap
+	wcsCfg := pre
+	wcsCfg.Objective = core.WorstCase
+	wcs, err := core.Build(set, wcsCfg)
+	if err != nil {
+		fail(fmt.Errorf("WCS: %w", err))
+	}
+	acsCfg := pre
+	acsCfg.Objective = core.AverageCase
+	acsCfg.WarmStart = wcs
+	acs, err := core.Build(set, acsCfg)
+	if err != nil {
+		fail(fmt.Errorf("ACS: %w", err))
+	}
+
+	cfg := sim.Config{Policy: pol, Hyperperiods: *reps, Seed: *seed, Dist: d}
+	imp, ra, rb, err := sim.Compare(acs, wcs, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("task set: %s (%d sub-instances)\n", set, len(acs.Plan.Subs))
+	fmt.Printf("policy=%s dist=%s reps=%d seed=%d\n", pol, *dist, *reps, *seed)
+	report("ACS", ra)
+	report("WCS", rb)
+	fmt.Printf("improvement of ACS over WCS: %.2f%%\n", imp)
+	if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
+		fmt.Fprintln(os.Stderr, "dvssim: WARNING: deadline misses observed")
+		os.Exit(2)
+	}
+}
+
+func report(name string, r *sim.Result) {
+	fmt.Printf("%s: energy=%.6g (per hyper-period %s) meanV=%.3f switches=%d misses=%d\n",
+		name, r.Energy, r.PerHyperperiod.String(), r.MeanVoltage, r.Switches, r.DeadlineMisses)
+}
+
+func parsePolicy(s string) (sim.SlackPolicy, error) {
+	switch s {
+	case "greedy":
+		return sim.Greedy, nil
+	case "static":
+		return sim.Static, nil
+	case "nodvs":
+		return sim.NoDVS, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseDist(s string) (sim.Distribution, error) {
+	switch s {
+	case "paper":
+		return sim.PaperDist, nil
+	case "uniform":
+		return sim.UniformDist, nil
+	case "bimodal":
+		return sim.BimodalDist, nil
+	case "acec":
+		return sim.AlwaysACECDist, nil
+	case "wcec":
+		return sim.AlwaysWCECDist, nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", s)
+	}
+}
+
+func loadSet(in, builtin string, ratio, util float64) (*task.Set, error) {
+	switch builtin {
+	case "cnc":
+		return workload.CNC(ratio, util, nil)
+	case "gap":
+		return workload.GAP(ratio, util, nil)
+	case "motivation":
+		return experiments.MotivationSet()
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (want cnc, gap, motivation)", builtin)
+	}
+	r := io.Reader(os.Stdin)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var set task.Set
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("parsing task set: %w", err)
+	}
+	return &set, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dvssim:", err)
+	os.Exit(1)
+}

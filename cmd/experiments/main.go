@@ -1,0 +1,163 @@
+// Command experiments regenerates every table and figure of the paper plus
+// the ablation studies, printing text tables to stdout and optionally
+// writing CSVs for plotting. See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	experiments                        # everything, default budget
+//	experiments -only fig6a -sets 100 -reps 1000   # the paper's budget
+//	experiments -only motivation
+//	experiments -csv out/              # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "all",
+			"experiment: all, motivation, fig6a, fig6b, slack, cap, overhead, levels, weighted, crosscheck")
+		sets    = flag.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
+		reps    = flag.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
+		seed    = flag.Uint64("seed", 2005, "master seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "directory to write CSV results into")
+	)
+	flag.Parse()
+
+	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers}
+	want := func(name string) bool { return *only == "all" || *only == name }
+	wroteAny := false
+
+	writeCSV := func(name, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+
+	if want("motivation") {
+		banner("E1: motivational example (Table 1 / Figs. 1-2)")
+		r, err := experiments.Motivation()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+		wroteAny = true
+	}
+
+	if want("fig6a") {
+		banner("E2: Fig. 6(a) random task sets")
+		start := time.Now()
+		cells, err := experiments.Fig6a(experiments.Fig6aConfig{Common: common})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.Table(cells, fmt.Sprintf(
+			"Fig. 6(a): ACS improvement over WCS (%d sets x %d hyper-periods per cell, %v)",
+			*sets, *reps, time.Since(start).Round(time.Second))))
+		writeCSV("fig6a.csv", experiments.CSV(cells))
+		wroteAny = true
+	}
+
+	if want("fig6b") {
+		banner("E3/E4: Fig. 6(b) real-life applications")
+		cells, err := experiments.Fig6b(experiments.Fig6bConfig{Common: common})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.AppTable(cells))
+		writeCSV("fig6b.csv", experiments.AppCSV(cells))
+		wroteAny = true
+	}
+
+	if want("slack") {
+		banner("E5: slack-policy ablation (N=6, ratio 0.1)")
+		cells, err := experiments.SlackPolicyAblation(common, 6, 0.1)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.SlackTable(cells))
+		wroteAny = true
+	}
+
+	if want("cap") {
+		banner("E6: sub-instance cap ablation (GAP, ratio 0.1)")
+		cells, err := experiments.SubInstanceCapAblation(common, 0.1, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.CapTable(cells))
+		wroteAny = true
+	}
+
+	if want("overhead") {
+		banner("E7: voltage-transition overhead ablation (N=6, ratio 0.1)")
+		cells, err := experiments.TransitionOverheadAblation(common, 6, 0.1, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.OverheadTable(cells))
+		wroteAny = true
+	}
+
+	if want("levels") {
+		banner("E8: discrete voltage levels ablation (N=6, ratio 0.1)")
+		cells, err := experiments.DiscreteLevelAblation(common, 6, 0.1, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.LevelTable(cells))
+		wroteAny = true
+	}
+
+	if want("weighted") {
+		banner("E10: probability-weighted objective (N=6, ratio 0.1)")
+		cells, err := experiments.WeightedObjectiveAblation(common, 6, 0.1, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.WeightedTable(cells))
+		wroteAny = true
+	}
+
+	if want("crosscheck") {
+		banner("E9: solver cross-check (N=3)")
+		r, err := experiments.SolverCrossCheck(common, 3)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+		wroteAny = true
+	}
+
+	if !wroteAny {
+		fail(fmt.Errorf("unknown experiment %q", *only))
+	}
+}
+
+func banner(s string) {
+	fmt.Println()
+	fmt.Println(s)
+	fmt.Println(strings.Repeat("=", len(s)))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

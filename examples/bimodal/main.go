@@ -1,0 +1,60 @@
+// Bimodal demonstrates the scenario the paper's abstract motivates: "tasks
+// that normally require a small number of cycles but occasionally a large
+// number of cycles to complete". Under a bimodal workload (90% of releases
+// near BCEC, 10% near WCEC) the average-case-aware schedule has even more
+// slack to harvest than under the symmetric truncated-Normal model, and this
+// example measures the gap between the two.
+//
+//	go run ./examples/bimodal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	rng := repro.NewRNG(2005)
+	set, err := repro.RandomTaskSet(rng, repro.RandomTaskSetConfig{
+		N: 6, Ratio: 0.1, Utilization: 0.7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	acs, wcs, err := repro.BuildBoth(set, repro.ScheduleConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("6 random tasks, U=0.7, BCEC/WCEC=0.1 (%d sub-instances)\n\n", len(acs.Plan.Subs))
+	fmt.Printf("%-22s %-14s %-14s %-12s\n", "workload distribution", "E(ACS)", "E(WCS)", "improvement")
+	for _, d := range []struct {
+		name string
+		dist repro.Distribution
+	}{
+		{"truncated normal (§4)", sim.PaperDist},
+		{"bimodal 90/10", sim.BimodalDist},
+		{"uniform", sim.UniformDist},
+		{"always ACEC", sim.AlwaysACECDist},
+		{"always WCEC", sim.AlwaysWCECDist},
+	} {
+		imp, ra, rb, err := repro.CompareSchedules(acs, wcs, repro.SimConfig{
+			Policy:       repro.Greedy,
+			Hyperperiods: 500,
+			Seed:         99,
+			Dist:         d.dist,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
+			log.Fatalf("%s: deadline misses", d.name)
+		}
+		fmt.Printf("%-22s %-14.6g %-14.6g %6.1f%%\n", d.name, ra.Energy, rb.Energy, imp)
+	}
+	fmt.Println("\nEven at all-WCEC draws the ACS schedule stays feasible — that is the")
+	fmt.Println("worst-case guarantee the offline NLP enforces (paper §3.2).")
+}

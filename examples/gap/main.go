@@ -1,0 +1,44 @@
+// GAP runs the Generic Avionics Platform case study (paper §4, Fig. 6(b)):
+// seventeen avionics tasks from Locke et al., swept across BCEC/WCEC ratios.
+// The fully-preemptive expansion is capped at 12 pieces per instance to keep
+// the NLP tractable (see DESIGN.md); the cap's effect is quantified by the
+// E6 ablation (cmd/experiments -only cap).
+//
+//	go run ./examples/gap
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("Generic Avionics Platform (17 tasks, H = 1000 ms), ACS vs WCS")
+	fmt.Printf("%-8s %-8s %-12s\n", "ratio", "subs", "improvement")
+	for _, ratio := range []float64{0.1, 0.5, 0.9} {
+		set, err := repro.GAPTaskSet(ratio, 0.7, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := repro.ScheduleConfig{}
+		cfg.Preempt.MaxSubsPerInstance = 12
+		acs, wcs, err := repro.BuildBoth(set, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imp, ra, rb, err := repro.CompareSchedules(acs, wcs, repro.SimConfig{
+			Policy:       repro.Greedy,
+			Hyperperiods: 200,
+			Seed:         11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.1f %-8d %6.1f%%\n", ratio, len(acs.Plan.Subs), imp)
+		if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
+			log.Fatalf("deadline misses at ratio %g", ratio)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Motivation reproduces the paper's §2.2 example (Table 1, Figs. 1 and 2):
+// three tasks in a 20 ms frame where choosing end-times for the average case
+// saves 24% energy while remaining worst-case feasible at Vmax = 4 V.
+//
+//	go run ./examples/motivation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	r, err := experiments.Motivation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(r.Render())
+
+	// Show the NLP-solved ACS schedule as a Gantt chart: the solver
+	// rediscovers the paper's hand-made end-times (10 / 15 / 20 ms).
+	set, err := experiments.MotivationSet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := experiments.MotivationModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(trace.Gantt(acs, 80))
+}

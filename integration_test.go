@@ -1,0 +1,148 @@
+package repro
+
+// Cross-package integration tests: end-to-end invariants that span the
+// offline solver, the runtime simulator and the workload sources, exercised
+// through the public facade the way a downstream user would.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntegrationCNCPipeline runs the full CNC pipeline at two ratios and
+// checks the paper's monotonicity claim end to end.
+func TestIntegrationCNCPipeline(t *testing.T) {
+	imps := map[float64]float64{}
+	for _, ratio := range []float64{0.1, 0.9} {
+		set, err := CNCTaskSet(ratio, 0.7, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acs, wcs, err := BuildBoth(set, ScheduleConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, ra, rb, err := CompareSchedules(acs, wcs, SimConfig{Hyperperiods: 100, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.DeadlineMisses+rb.DeadlineMisses != 0 {
+			t.Fatalf("ratio %g: deadline misses", ratio)
+		}
+		imps[ratio] = imp
+	}
+	if !(imps[0.1] > imps[0.9]) {
+		t.Errorf("improvement not monotone in variability: %.1f%% at 0.1 vs %.1f%% at 0.9",
+			imps[0.1], imps[0.9])
+	}
+	if imps[0.1] < 5 {
+		t.Errorf("CNC at ratio 0.1 improved only %.1f%%; expected double digits", imps[0.1])
+	}
+}
+
+// TestIntegrationEnergyConservation: the simulator's total energy equals the
+// sum over hyper-periods, and scales linearly when Ceff doubles.
+func TestIntegrationEnergyConservation(t *testing.T) {
+	rng := NewRNG(5)
+	set, err := RandomTaskSet(rng, RandomTaskSetConfig{N: 4, Ratio: 0.3, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, _, err := BuildBoth(set, ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(acs, SimConfig{Hyperperiods: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHPSum := r.PerHyperperiod.Mean() * float64(r.PerHyperperiod.N())
+	if math.Abs(perHPSum-r.Energy) > 1e-6*r.Energy {
+		t.Errorf("per-hyper-period sum %g != total %g", perHPSum, r.Energy)
+	}
+
+	// Double every Ceff: schedule geometry is unchanged (Ceff scales the
+	// objective uniformly with unit capacitance everywhere), so runtime
+	// energy must exactly double.
+	tasks := append([]Task(nil), set.Tasks...)
+	for i := range tasks {
+		tasks[i].Ceff *= 2
+	}
+	set2, err := NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs2, _, err := BuildBoth(set2, ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(acs2, SimConfig{Hyperperiods: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Energy-2*r.Energy) > 1e-6*r.Energy {
+		t.Errorf("doubling Ceff scaled energy by %g, want 2", r2.Energy/r.Energy)
+	}
+}
+
+// TestIntegrationSpeedHeadroomMatchesSolver: sched.MinCycleTime's uniform
+// slowdown headroom must be consistent with the solver: a set stays solvable
+// on a model whose maximum speed is just above the minimum feasible speed,
+// and Build fails just below it.
+func TestIntegrationSpeedHeadroomMatchesSolver(t *testing.T) {
+	set, err := NewTaskSet([]Task{
+		{Name: "a", Period: 10, WCEC: 8, ACEC: 4, BCEC: 2, Ceff: 1},
+		{Name: "b", Period: 20, WCEC: 16, ACEC: 8, BCEC: 4, Ceff: 1},
+		{Name: "c", Period: 40, WCEC: 24, ACEC: 12, BCEC: 6, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultModel()
+	tcMin, err := MinCycleTime(set, base.CycleTime(base.VMax()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model whose top speed corresponds to a cycle time 1% faster than the
+	// critical one: must solve.
+	fast, err := NewSimpleInverseModel(1, 0.1, 1/(tcMin*0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSchedule(set, ScheduleConfig{Objective: WorstCase, Model: fast}); err != nil {
+		t.Errorf("set unsolvable just above the RTA speed bound: %v", err)
+	}
+	// 5% slower than critical: must fail.
+	slow, err := NewSimpleInverseModel(1, 0.1, 1/(tcMin*1.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildSchedule(set, ScheduleConfig{Objective: WorstCase, Model: slow}); err == nil {
+		t.Error("set solvable below the RTA speed bound — solver and RTA disagree")
+	}
+}
+
+// TestIntegrationScenarioObjectivePublic: the probability-weighted objective
+// is reachable through the facade's ScheduleConfig and keeps all guarantees.
+func TestIntegrationScenarioObjectivePublic(t *testing.T) {
+	rng := NewRNG(21)
+	set, err := RandomTaskSet(rng, RandomTaskSetConfig{N: 4, Ratio: 0.1, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScheduleConfig{Scenarios: 5, ScenarioSeed: 4}
+	acs, wcs, err := BuildBoth(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, ra, rb, err := CompareSchedules(acs, wcs, SimConfig{Hyperperiods: 100, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DeadlineMisses+rb.DeadlineMisses != 0 {
+		t.Fatal("scenario-optimised schedule missed deadlines")
+	}
+	if imp <= 0 {
+		t.Errorf("scenario ACS did not improve on WCS: %g%%", imp)
+	}
+}

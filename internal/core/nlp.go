@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/opt"
+)
+
+// NLP exposes the reduced mathematical program (DESIGN.md §2) over a flat
+// variable vector so the generic solvers in internal/opt can attack it
+// directly. It exists to cross-check the structured coordinate-descent
+// solver (experiment E9): on small instances both must land on the same
+// objective value to within tolerance.
+//
+// Variable layout: x[0:n] are end-times; x[n:2n] are worst-case splits.
+type NLP struct {
+	sched *Schedule // scratch schedule reused for evaluation
+	n     int
+}
+
+// NewNLP wraps a solved (or merely initialised) schedule as a mathematical
+// program. The schedule's plan, model and objective are used; its variable
+// arrays are treated as scratch space and clobbered by evaluations.
+func NewNLP(s *Schedule) *NLP {
+	return &NLP{sched: s, n: len(s.Plan.Subs)}
+}
+
+// Dim returns the variable-vector length (2·#sub-instances).
+func (p *NLP) Dim() int { return 2 * p.n }
+
+// Pack writes the schedule's current solution into a fresh vector.
+func (p *NLP) Pack() []float64 {
+	x := make([]float64, p.Dim())
+	copy(x[:p.n], p.sched.End)
+	copy(x[p.n:], p.sched.WCWork)
+	return x
+}
+
+// Unpack installs x into the schedule and re-derives average workloads.
+func (p *NLP) Unpack(x []float64) error {
+	if len(x) != p.Dim() {
+		return fmt.Errorf("core: NLP vector has length %d, want %d", len(x), p.Dim())
+	}
+	copy(p.sched.End, x[:p.n])
+	copy(p.sched.WCWork, x[p.n:])
+	deriveAvgWork(p.sched.Plan, p.sched.WCWork, p.sched.AvgWork)
+	return nil
+}
+
+// Objective evaluates the schedule energy at x (average-case for ACS,
+// worst-case for WCS). Infeasible points are still evaluated — the energy
+// model clamps voltages into range — so penalty methods see a finite
+// landscape everywhere.
+func (p *NLP) Objective(x []float64) float64 {
+	if err := p.Unpack(x); err != nil {
+		return math.Inf(1)
+	}
+	return p.sched.ObjectiveEnergy()
+}
+
+// Constraints returns the inequality set g(x) ≤ 0 of the reduced NLP:
+// deadlines, worst-case chaining, split non-negativity, and per-instance
+// workload conservation (as paired inequalities). It encodes the same
+// zero-budget relaxation the production solver uses: a piece with no
+// worst-case budget never executes, so its deadline constraint is vacuous
+// and the chain passes through work-bearing pieces only.
+func (p *NLP) Constraints() []opt.Constraint {
+	plan := p.sched.Plan
+	tcMax := p.sched.Model.CycleTime(p.sched.Model.VMax())
+	var cons []opt.Constraint
+
+	for pos := 0; pos < p.n; pos++ {
+		pos := pos
+		su := &plan.Subs[pos]
+		// e_pos ≤ deadline, active only while the piece carries work.
+		cons = append(cons, func(x []float64) float64 {
+			if x[p.n+pos] <= deadWork {
+				return -1 // vacuous for an empty reservation
+			}
+			return x[pos] - su.Deadline
+		})
+		// Worst-case chain: R̂·tc(Vmax) − (e_pos − max(e_prevAlive, release)) ≤ 0.
+		cons = append(cons, func(x []float64) float64 {
+			if x[p.n+pos] <= deadWork {
+				return -1
+			}
+			prev := 0.0
+			for q := pos - 1; q >= 0; q-- {
+				if x[p.n+q] > deadWork {
+					prev = x[q]
+					break
+				}
+			}
+			start := math.Max(prev, su.Release)
+			return x[p.n+pos]*tcMax - (x[pos] - start)
+		})
+		// R̂ ≥ 0.
+		cons = append(cons, func(x []float64) float64 { return -x[p.n+pos] })
+	}
+	for idx := range plan.ByInstance {
+		idx := idx
+		wcec := plan.Set.Tasks[plan.Instances[idx].TaskIndex].WCEC
+		sum := func(x []float64) float64 {
+			var t float64
+			for _, pos := range plan.ByInstance[idx] {
+				t += x[p.n+pos]
+			}
+			return t
+		}
+		cons = append(cons,
+			func(x []float64) float64 { return sum(x) - wcec },
+			func(x []float64) float64 { return wcec - sum(x) },
+		)
+	}
+	return cons
+}
+
+// SolvePenalty runs the exterior-penalty reference solver from the
+// schedule's current point and installs the result if it is feasible (to
+// tol) and improves the objective. It returns the reference objective value
+// and the worst constraint violation at the reference solution.
+func (p *NLP) SolvePenalty(o opt.PenaltyOptions, tol float64) (obj, violation float64, err error) {
+	x0 := p.Pack()
+	obj0 := p.Objective(x0)
+	cons := p.Constraints()
+	x, obj, err := opt.PenaltyMinimize(p.Objective, cons, x0, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	violation = opt.MaxViolation(cons, x)
+	// Leave the schedule holding its best-known feasible solution: the
+	// reference result when it is feasible and better, else the original.
+	if violation <= tol && obj < obj0 {
+		err = p.Unpack(x)
+	} else {
+		err = p.Unpack(x0)
+	}
+	return obj, violation, err
+}
+
+// SolveNelderMead runs the simplex reference solver over end-times only
+// (splits fixed), projecting iterates into the feasible box by clamping to
+// deadlines. Returns the best objective seen among feasible iterates.
+func (p *NLP) SolveNelderMead(o opt.NelderMeadOptions) (float64, error) {
+	ends0 := append([]float64(nil), p.sched.End...)
+	wc := append([]float64(nil), p.sched.WCWork...)
+	plan := p.sched.Plan
+	tcMax := p.sched.Model.CycleTime(p.sched.Model.VMax())
+
+	// feasRepair clamps an end vector onto the feasible chain (work-bearing
+	// pieces only). It reports false when no clamp can restore feasibility —
+	// the chain would push an end past its deadline — in which case the
+	// objective must reject the point rather than score an invalid schedule.
+	feasRepair := func(ends []float64) bool {
+		prev := 0.0
+		for pos := range ends {
+			su := &plan.Subs[pos]
+			if wc[pos] <= deadWork {
+				ends[pos] = math.Max(prev, su.Release)
+				continue
+			}
+			lo := math.Max(prev, su.Release) + wc[pos]*tcMax
+			if lo > su.Deadline+1e-9 {
+				return false
+			}
+			ends[pos] = opt.Clamp(ends[pos], lo, su.Deadline)
+			prev = ends[pos]
+		}
+		return true
+	}
+	obj := func(ends []float64) float64 {
+		repaired := append([]float64(nil), ends...)
+		if !feasRepair(repaired) {
+			return math.Inf(1)
+		}
+		copy(p.sched.End, repaired)
+		return p.sched.ObjectiveEnergy()
+	}
+	best, bestF, err := opt.NelderMead(obj, ends0, o)
+	if err != nil {
+		return 0, err
+	}
+	if !feasRepair(best) {
+		// Fall back to the starting point, which is always feasible.
+		best = ends0
+		if !feasRepair(best) {
+			return 0, fmt.Errorf("core: Nelder-Mead starting point infeasible")
+		}
+		bestF = math.Inf(1)
+	}
+	copy(p.sched.End, best)
+	deriveAvgWork(plan, p.sched.WCWork, p.sched.AvgWork)
+	return bestF, nil
+}
+
+// CloneSchedule deep-copies a schedule so reference solvers can scribble on
+// one copy while the original stays intact.
+func CloneSchedule(s *Schedule) *Schedule {
+	c := *s
+	c.End = append([]float64(nil), s.End...)
+	c.WCWork = append([]float64(nil), s.WCWork...)
+	c.AvgWork = append([]float64(nil), s.AvgWork...)
+	return &c
+}

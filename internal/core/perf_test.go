@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestSolvePerformance records how long the production solver takes on the
+// largest Fig. 6(a) configuration (N=10 at 70% utilisation); it fails only
+// if solving becomes pathologically slow, keeping the experiment harness
+// honest about its budget.
+func TestSolvePerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("performance probe skipped in -short mode")
+	}
+	rng := stats.NewRNG(7)
+	set, err := workload.Random(rng, workload.RandomConfig{N: 10, Ratio: 0.1, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	s, err := Build(set, Config{Objective: AverageCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("N=10: %d subs, %d sweeps, %v", len(s.Plan.Subs), s.Sweeps, elapsed)
+	if elapsed > 2*time.Minute {
+		t.Errorf("ACS solve took %v; expected well under 2 minutes", elapsed)
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Scenario support: the paper's §3.2 notes that "the probability weighted
+// workload can be used in the objective function if the probability density
+// function is known", and evaluates with the plain average workload because
+// reference [7] shows it approximates the expected energy well. This file
+// implements the probability-weighted variant so the approximation itself
+// can be measured (experiment E10): Config.Scenarios = K draws K determinate
+// workload vectors from the task distribution (common random numbers across
+// solver iterations), and the solver minimises the mean greedy-reclamation
+// energy across them instead of the single ACEC trajectory.
+
+// scenarioSet holds the per-scenario workload decomposition.
+type scenarioSet struct {
+	// cycles[k][idx] is instance idx's actual cycle count in scenario k.
+	cycles [][]float64
+	// loads[k][pos] is the per-piece execution of scenario k under the
+	// current worst-case splits (min(remaining, R̂) in order).
+	loads [][]float64
+}
+
+// buildScenarios draws K instance-workload vectors from the paper's
+// truncated-Normal distribution using stratified quantile seeds so the set
+// is spread across the distribution rather than clustered.
+func (s *Schedule) buildScenarios(k int, seed uint64) *scenarioSet {
+	plan := s.Plan
+	sc := &scenarioSet{
+		cycles: make([][]float64, k),
+		loads:  make([][]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		rng := stats.NewRNG(seed + uint64(i)*0x9e3779b97f4a7c15)
+		cyc := make([]float64, len(plan.Instances))
+		for idx := range plan.Instances {
+			t := &plan.Set.Tasks[plan.Instances[idx].TaskIndex]
+			cyc[idx] = rng.TruncNormal(t.ACEC, (t.WCEC-t.BCEC)/6, t.BCEC, t.WCEC)
+		}
+		sc.cycles[i] = cyc
+		sc.loads[i] = make([]float64, len(plan.Subs))
+	}
+	sc.rederiveAll(s)
+	return sc
+}
+
+// rederiveAll recomputes every scenario's per-piece loads from the current
+// worst-case splits.
+func (sc *scenarioSet) rederiveAll(s *Schedule) {
+	for k := range sc.loads {
+		for idx := range s.Plan.ByInstance {
+			sc.rederiveInstance(s, k, idx)
+		}
+	}
+}
+
+// rederiveInstance recomputes one instance's pieces in one scenario.
+func (sc *scenarioSet) rederiveInstance(s *Schedule, k, idx int) {
+	remaining := sc.cycles[k][idx]
+	for _, pos := range s.Plan.ByInstance[idx] {
+		w := math.Min(remaining, s.WCWork[pos])
+		sc.loads[k][pos] = w
+		remaining -= w
+	}
+}
+
+// objEval evaluates the solver objective over one or more load vectors with
+// per-vector prefix caches, so coordinate sweeps re-run only order suffixes.
+// A nil scenario set degenerates to the single point-load objective (ACEC
+// for ACS, WCEC for WCS) the paper's experiments use.
+type objEval struct {
+	s        *Schedule
+	loadSets [][]float64
+	prefixes [][]evalState // one per load set, each length n+1
+}
+
+// newObjEval builds the evaluator for the schedule's current objective.
+func newObjEval(s *Schedule, sc *scenarioSet) *objEval {
+	e := &objEval{s: s}
+	if sc != nil && s.Objective == AverageCase {
+		e.loadSets = sc.loads
+	} else if s.Objective == WorstCase {
+		e.loadSets = [][]float64{s.WCWork}
+	} else {
+		e.loadSets = [][]float64{s.AvgWork}
+	}
+	n := len(s.Plan.Subs)
+	e.prefixes = make([][]evalState, len(e.loadSets))
+	for i := range e.prefixes {
+		e.prefixes[i] = make([]evalState, n+1)
+	}
+	e.rebuild(0)
+	return e
+}
+
+// rebuild refreshes the prefix caches from position `from` onward.
+func (e *objEval) rebuild(from int) {
+	n := len(e.s.Plan.Subs)
+	for i, loads := range e.loadSets {
+		for pos := from; pos < n; pos++ {
+			st := e.prefixes[i][pos]
+			e.s.evalStep(&st, pos, loads[pos])
+			e.prefixes[i][pos+1] = st
+		}
+	}
+}
+
+// advance extends the caches by one position (forward sweeps).
+func (e *objEval) advance(pos int) {
+	for i, loads := range e.loadSets {
+		st := e.prefixes[i][pos]
+		e.s.evalStep(&st, pos, loads[pos])
+		e.prefixes[i][pos+1] = st
+	}
+}
+
+// copyPrefix duplicates the cache state just before pos (dead-piece skips).
+func (e *objEval) copyPrefix(pos int) {
+	for i := range e.prefixes {
+		e.prefixes[i][pos+1] = e.prefixes[i][pos]
+	}
+}
+
+// energyFrom evaluates the mean objective re-running positions [pos, n).
+func (e *objEval) energyFrom(pos int) float64 {
+	var total float64
+	for i, loads := range e.loadSets {
+		total += e.s.evalFrom(e.prefixes[i][pos], pos, loads).energy
+	}
+	return total / float64(len(e.loadSets))
+}
+
+// full evaluates the mean objective from scratch without touching caches.
+func (e *objEval) full() float64 {
+	var total float64
+	for _, loads := range e.loadSets {
+		total += e.s.evalFrom(evalState{}, 0, loads).energy
+	}
+	return total / float64(len(e.loadSets))
+}
+
+// ExpectedEnergy evaluates the schedule's mean greedy-reclamation energy
+// over K stratified scenario draws — the probability-weighted objective —
+// without re-optimising. Useful for measuring how well the point-ACEC
+// objective approximates the true expectation (experiment E10).
+func (s *Schedule) ExpectedEnergy(k int, seed uint64) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("core: scenario count must be positive, got %d", k)
+	}
+	sc := s.buildScenarios(k, seed)
+	var total float64
+	for i := range sc.loads {
+		total += s.evalFrom(evalState{}, 0, sc.loads[i]).energy
+	}
+	return total / float64(k), nil
+}

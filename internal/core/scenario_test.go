@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScenarioObjectiveSolves(t *testing.T) {
+	set := feasibleRandom(t, 40, 4, 0.1)
+	wcs, err := Build(set, Config{Objective: WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(set, Config{
+		Objective: AverageCase, WarmStart: wcs, Scenarios: 5, ScenarioSeed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	// Worst-case safety is unaffected by the objective choice.
+	wc := make([]float64, len(s.Plan.Instances))
+	for i, in := range s.Plan.Instances {
+		wc[i] = set.Tasks[in.TaskIndex].WCEC
+	}
+	if _, over, err := s.EnergyUnder(wc); err != nil || over > 1e-9 {
+		t.Errorf("scenario-optimised schedule misses worst-case deadlines: over=%g err=%v", over, err)
+	}
+}
+
+func TestScenarioObjectiveDeterministic(t *testing.T) {
+	set := feasibleRandom(t, 41, 3, 0.3)
+	build := func() *Schedule {
+		s, err := Build(set, Config{Objective: AverageCase, Scenarios: 4, ScenarioSeed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	for i := range a.End {
+		if a.End[i] != b.End[i] || a.WCWork[i] != b.WCWork[i] {
+			t.Fatal("scenario solver not deterministic")
+		}
+	}
+}
+
+// TestScenarioBeatsPointOnScenarioObjective: optimising the scenario mean
+// must score at least as well on that mean as the point-ACEC optimum does.
+func TestScenarioBeatsPointOnScenarioObjective(t *testing.T) {
+	set := feasibleRandom(t, 42, 5, 0.1)
+	const k, seed = 6, 31
+	wcs, err := Build(set, Config{Objective: WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	point, err := Build(set, Config{Objective: AverageCase, WarmStart: wcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, err := Build(set, Config{
+		Objective: AverageCase, WarmStart: wcs, Scenarios: k, ScenarioSeed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePoint, err := point.ExpectedEnergy(k, seed|1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eScen, err := scen.ExpectedEnergy(k, seed|1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario solve optimised exactly this quantity (same seed
+	// normalisation as optimize()), so it cannot lose to the point solve
+	// beyond numerical noise.
+	if eScen > ePoint*(1+1e-6) {
+		t.Errorf("scenario optimum %g worse than point optimum %g on scenario mean", eScen, ePoint)
+	}
+}
+
+func TestExpectedEnergyValidation(t *testing.T) {
+	set := feasibleRandom(t, 43, 3, 0.5)
+	s, err := Build(set, Config{Objective: AverageCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExpectedEnergy(0, 1); err == nil {
+		t.Error("zero scenario count accepted")
+	}
+	e, err := s.ExpectedEnergy(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario mean sits near the point objective (the paper's
+	// approximation claim) — within a loose factor-of-two sanity band.
+	if e <= 0 || math.IsNaN(e) {
+		t.Fatalf("expected energy %g", e)
+	}
+	if e < s.Energy/3 || e > s.Energy*3 {
+		t.Errorf("expected energy %g wildly far from point objective %g", e, s.Energy)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// TestSmokePipeline exercises the full offline pipeline on a small random
+// set: generate → solve ACS and WCS → verify → compare objective energies.
+func TestSmokePipeline(t *testing.T) {
+	rng := stats.NewRNG(42)
+	set, err := workload.Random(rng, workload.RandomConfig{N: 4, Ratio: 0.1, Utilization: 0.7})
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	acs, err := Build(set, Config{Objective: AverageCase})
+	if err != nil {
+		t.Fatalf("Build ACS: %v", err)
+	}
+	wcs, err := Build(set, Config{Objective: WorstCase})
+	if err != nil {
+		t.Fatalf("Build WCS: %v", err)
+	}
+	t.Logf("subs=%d acs.sweeps=%d", len(acs.Plan.Subs), acs.Sweeps)
+
+	// ACS must beat (or tie) WCS on the average-case objective, since WCS's
+	// solution is feasible for ACS's program too.
+	wcsClone := CloneSchedule(wcs)
+	wcsClone.Objective = AverageCase
+	wcsAvg := wcsClone.ObjectiveEnergy()
+	t.Logf("avg-case energy: ACS=%.6g WCS-schedule=%.6g improvement=%.1f%%",
+		acs.Energy, wcsAvg, 100*(wcsAvg-acs.Energy)/wcsAvg)
+	if acs.Energy > wcsAvg*1.001 {
+		t.Errorf("ACS avg energy %g exceeds WCS schedule's avg energy %g", acs.Energy, wcsAvg)
+	}
+}
+
+func TestMotivationShape(t *testing.T) {
+	// Three equal tasks sharing a 20ms frame, as in §2.2's example:
+	// non-preemptive (single instance each), WCEC sized so the all-WCEC
+	// Vmax schedule fits comfortably.
+	m, err := power.NewSimpleInverse(1, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string) task.Task {
+		return task.Task{Name: name, Period: 20, WCEC: 6.67, ACEC: 2.0, BCEC: 1.0, Ceff: 1}
+	}
+	set, err := task.NewSet([]task.Task{mk("T1"), mk("T2"), mk("T3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, err := Build(set, Config{Objective: AverageCase, Model: m})
+	if err != nil {
+		t.Fatalf("ACS: %v", err)
+	}
+	wcs, err := Build(set, Config{Objective: WorstCase, Model: m})
+	if err != nil {
+		t.Fatalf("WCS: %v", err)
+	}
+	wcsAvg := CloneSchedule(wcs)
+	wcsAvg.Objective = AverageCase
+	eWCS := wcsAvg.ObjectiveEnergy()
+	t.Logf("ends ACS=%v WCS=%v", acs.End, wcs.End)
+	t.Logf("avg energy ACS=%.4f WCS=%.4f improvement=%.1f%%",
+		acs.Energy, eWCS, 100*(eWCS-acs.Energy)/eWCS)
+	if acs.Energy >= eWCS {
+		t.Errorf("expected ACS to strictly improve on WCS in the motivation scenario")
+	}
+}

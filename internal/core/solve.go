@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/preempt"
+	"repro/internal/task"
+)
+
+// Config tunes the static-schedule solver.
+type Config struct {
+	// Model is the processor model; nil selects power.DefaultModel().
+	Model power.Model
+	// Objective selects ACS (AverageCase) or WCS (WorstCase).
+	Objective Objective
+	// MaxSweeps bounds coordinate-descent sweeps (default 60).
+	MaxSweeps int
+	// Tol is the relative objective-improvement convergence threshold per
+	// sweep (default 1e-6).
+	Tol float64
+	// OptimizeSplits enables the worst-case workload split optimisation
+	// between adjacent pieces of an instance (§3.2's R̂ assignment). It
+	// defaults to true for ACS; for WCS splits barely matter but are still
+	// optimised when set.
+	OptimizeSplits bool
+	// NoSplitOpt force-disables split optimisation (used by ablations).
+	NoSplitOpt bool
+	// InitBlend places the initial end-times between the earliest feasible
+	// (0) and latest feasible (1) positions; default 0.7.
+	InitBlend float64
+	// LineTolMs is the golden-section interval tolerance on end-times in ms
+	// (default 1e-4).
+	LineTolMs float64
+	// Preempt tunes the fully-preemptive expansion (sub-instance cap, EDF).
+	Preempt preempt.Options
+	// WarmStart, when non-nil, supplies a second starting point: the
+	// solver also runs from that schedule's (End, WCWork) and keeps the
+	// better result. Passing the solved WCS schedule when building ACS
+	// guarantees ACS never lands in a local optimum worse than the WCS
+	// solution (which is always feasible for the ACS program).
+	WarmStart *Schedule
+	// Scenarios, when positive and the objective is AverageCase, switches
+	// the objective from the single ACEC trajectory to the mean energy over
+	// this many stratified workload draws — the probability-weighted
+	// objective the paper's §3.2 sketches. Solve cost scales linearly with
+	// the count; 5–10 captures most of the distribution.
+	Scenarios int
+	// ScenarioSeed seeds the scenario draws (common random numbers across
+	// all solver iterations, so the objective is a fixed function).
+	ScenarioSeed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Model == nil {
+		out.Model = power.DefaultModel()
+	}
+	if out.MaxSweeps <= 0 {
+		out.MaxSweeps = 100
+	}
+	if out.Tol <= 0 {
+		out.Tol = 1e-6
+	}
+	if out.InitBlend <= 0 || out.InitBlend > 1 {
+		out.InitBlend = 0.7
+	}
+	if out.LineTolMs <= 0 {
+		out.LineTolMs = 1e-4
+	}
+	// Both objectives optimise splits by default: the paper's WCS baseline
+	// is the worst-case-*optimal* static schedule, which fixes how WCEC
+	// distributes across preemption segments; leaving WCS with naive
+	// proportional splits would hand ACS a phantom advantage.
+	out.OptimizeSplits = !out.NoSplitOpt
+	return out
+}
+
+// Build expands set into its fully-preemptive schedule and solves the static
+// voltage schedule for cfg's objective. It fails if the task set cannot meet
+// its deadlines even at the maximum voltage (the feasibility precondition of
+// the whole approach).
+func Build(set *task.Set, cfg Config) (*Schedule, error) {
+	plan, err := preempt.BuildWith(set, cfg.Preempt)
+	if err != nil {
+		return nil, err
+	}
+	return Solve(plan, cfg)
+}
+
+// Solve computes the static schedule over an existing fully-preemptive plan.
+func Solve(plan *preempt.Schedule, cfg Config) (*Schedule, error) {
+	c := cfg.withDefaults()
+	n := len(plan.Subs)
+	if n == 0 {
+		return nil, fmt.Errorf("core: plan has no sub-instances")
+	}
+	s := &Schedule{
+		Plan:      plan,
+		Model:     c.Model,
+		End:       make([]float64, n),
+		WCWork:    make([]float64, n),
+		AvgWork:   make([]float64, n),
+		Objective: c.Objective,
+	}
+
+	if err := s.initialize(c); err != nil {
+		return nil, err
+	}
+	obj := s.optimize(c)
+	s.Energy = s.ObjectiveEnergy()
+
+	if ws := c.WarmStart; ws != nil && len(ws.End) == n && ws.Plan.Set == plan.Set {
+		alt := &Schedule{
+			Plan:      plan,
+			Model:     c.Model,
+			End:       append([]float64(nil), ws.End...),
+			WCWork:    append([]float64(nil), ws.WCWork...),
+			AvgWork:   make([]float64, n),
+			Objective: c.Objective,
+		}
+		deriveAvgWork(plan, alt.WCWork, alt.AvgWork)
+		altObj := alt.optimize(c)
+		alt.Energy = alt.ObjectiveEnergy()
+		if altObj < obj && alt.Verify(1e-6*math.Max(1, plan.Hyperperiod)) == nil {
+			alt.Sweeps += s.Sweeps
+			s = alt
+		}
+	}
+
+	if err := s.Verify(1e-6 * math.Max(1, plan.Hyperperiod)); err != nil {
+		return nil, fmt.Errorf("core: solver produced an invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+// Feasible reports whether the task set admits any schedule at all on the
+// model: the all-Vmax ASAP chain over the fully-preemptive plan must meet
+// every deadline. It is the cheap pre-filter the experiment harness uses
+// before paying for a full solve.
+func Feasible(set *task.Set, cfg Config) error {
+	c := cfg.withDefaults()
+	plan, err := preempt.BuildWith(set, c.Preempt)
+	if err != nil {
+		return err
+	}
+	n := len(plan.Subs)
+	s := &Schedule{
+		Plan:    plan,
+		Model:   c.Model,
+		End:     make([]float64, n),
+		WCWork:  make([]float64, n),
+		AvgWork: make([]float64, n),
+	}
+	s.proportionalSplits()
+	if _, err := s.asapEnds(); err == nil {
+		return nil
+	}
+	if err := s.rmVmaxSplits(); err != nil {
+		return err
+	}
+	_, err = s.asapEnds()
+	return err
+}
+
+// proportionalSplits assigns each piece a share of its instance's WCEC
+// proportional to its segment length — the distribution a constant-speed
+// worst-case execution would produce, and the initialisation that keeps
+// every piece work-bearing.
+func (s *Schedule) proportionalSplits() {
+	plan := s.Plan
+	for idx, positions := range plan.ByInstance {
+		wcec := plan.Set.Tasks[plan.Instances[idx].TaskIndex].WCEC
+		var total float64
+		for _, pos := range positions {
+			total += plan.Subs[pos].SegEnd - plan.Subs[pos].SegStart
+		}
+		for _, pos := range positions {
+			s.WCWork[pos] = wcec * (plan.Subs[pos].SegEnd - plan.Subs[pos].SegStart) / total
+		}
+	}
+}
+
+// initialize produces a feasible starting point, then places end-times
+// between the earliest (all-Vmax ASAP) and latest (ALAP) feasible positions
+// by cfg.InitBlend.
+//
+// Worst-case splits are tried in two flavours: proportional to segment
+// length first (it keeps every piece work-bearing, preserving the whole
+// split-optimisation space), falling back to the exact fixed-priority Vmax
+// execution (rmVmaxSplits) when proportional is chain-infeasible — which
+// happens for tight interleavings like GAP, where higher-priority load
+// saturates some segments entirely. The RM splits are feasible whenever the
+// task set is schedulable at Vmax at all, so initialise fails only for
+// genuinely unschedulable sets.
+func (s *Schedule) initialize(c Config) error {
+	plan := s.Plan
+	s.proportionalSplits()
+	eMin, err := s.asapEnds()
+	if err != nil {
+		if rmErr := s.rmVmaxSplits(); rmErr != nil {
+			return rmErr
+		}
+		if eMin, err = s.asapEnds(); err != nil {
+			return err
+		}
+	}
+	deriveAvgWork(plan, s.WCWork, s.AvgWork)
+	eMax := s.alapEnds()
+	for pos := range s.End {
+		if s.WCWork[pos] <= deadWork {
+			continue // placed by the repair pass below
+		}
+		if eMax[pos] < eMin[pos]-1e-9 {
+			return fmt.Errorf("core: infeasible at sub %d: ASAP end %g exceeds ALAP end %g",
+				pos, eMin[pos], eMax[pos])
+		}
+		s.End[pos] = eMin[pos] + c.InitBlend*(math.Max(eMax[pos], eMin[pos])-eMin[pos])
+	}
+	// The blended ends satisfy deadlines but may violate the forward chain
+	// (each pos's blend is independent); one forward repair pass restores
+	// chain feasibility without exceeding eMax. Dead pieces get bookkeeping
+	// ends on the chain.
+	prev := 0.0
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	for pos := range s.End {
+		if s.WCWork[pos] <= deadWork {
+			s.End[pos] = math.Max(prev, plan.Subs[pos].Release)
+			continue
+		}
+		lo := math.Max(prev, plan.Subs[pos].Release) + s.WCWork[pos]*tcMax
+		if s.End[pos] < lo {
+			s.End[pos] = lo
+		}
+		if s.End[pos] > eMax[pos] {
+			s.End[pos] = eMax[pos]
+		}
+		prev = s.End[pos]
+	}
+	return nil
+}
+
+// asapEnds returns the earliest feasible end-times: the all-Vmax greedy
+// chain over work-bearing pieces. An error means the task set is
+// unschedulable even at full speed. Dead pieces report their chain position
+// (start time) and are exempt from deadline checks.
+func (s *Schedule) asapEnds() ([]float64, error) {
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	ends := make([]float64, len(s.Plan.Subs))
+	t := 0.0
+	for pos, su := range s.Plan.Subs {
+		if s.WCWork[pos] <= deadWork {
+			ends[pos] = math.Max(t, su.Release)
+			continue
+		}
+		start := math.Max(t, su.Release)
+		t = start + s.WCWork[pos]*tcMax
+		if t > su.Deadline+1e-9 {
+			return nil, fmt.Errorf("core: task set unschedulable at Vmax: %s misses deadline %g (needs %g)",
+				su.ID(s.Plan.Set), su.Deadline, t)
+		}
+		ends[pos] = t
+	}
+	return ends, nil
+}
+
+// alapEnds returns the latest feasible end-times: a backward pass pushing
+// every work-bearing end to its deadline, pulled earlier only as far as the
+// worst-case chains of *work-bearing* successors require. Dead pieces are
+// transparent to the chain and inherit the cap for bookkeeping.
+func (s *Schedule) alapEnds() []float64 {
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	n := len(s.Plan.Subs)
+	ends := make([]float64, n)
+	// capNext is the latest time the previous work-bearing piece may end
+	// without starving the chain suffix.
+	capNext := math.Inf(1)
+	for pos := n - 1; pos >= 0; pos-- {
+		su := s.Plan.Subs[pos]
+		if s.WCWork[pos] <= deadWork {
+			ends[pos] = math.Min(capNext, su.Deadline) // cosmetic only
+			continue
+		}
+		hi := math.Min(su.Deadline, capNext)
+		ends[pos] = hi
+		// A predecessor may end later than (hi − exec) only when it ends at
+		// or before this piece's release (then this piece is release-bound).
+		capNext = math.Max(su.Release, hi-s.WCWork[pos]*tcMax)
+	}
+	return ends
+}
+
+// optimize runs alternating coordinate-descent sweeps over end-times and
+// workload splits until the objective stops improving, returning the final
+// objective value (the scenario mean when Config.Scenarios is active,
+// otherwise the point objective).
+func (s *Schedule) optimize(c Config) float64 {
+	var sc *scenarioSet
+	if c.Scenarios > 0 && s.Objective == AverageCase {
+		sc = s.buildScenarios(c.Scenarios, c.ScenarioSeed|1)
+	}
+	prevObj := newObjEval(s, sc).full()
+	obj := prevObj
+	for sweep := 0; sweep < c.MaxSweeps; sweep++ {
+		// Alternate sweep directions: a forward pass tightens each end
+		// against its successor's current position, so on tightly coupled
+		// chains (every end at its chain cap) nothing can move until the
+		// caps are released from the back — which is exactly what the
+		// backward pass does.
+		s.sweepEnds(c, sc, sweep%2 == 1)
+		if c.OptimizeSplits {
+			s.sweepSplits(c, sc)
+		}
+		s.sweepPush(c, sc)
+		obj = newObjEval(s, sc).full()
+		s.Sweeps = sweep + 1
+		if prevObj-obj <= c.Tol*math.Max(prevObj, 1e-12) && sweep >= 2 {
+			break
+		}
+		prevObj = obj
+	}
+	return obj
+}
+
+// sweepEnds optimises each end-time in turn by golden-section search over
+// its feasible interval, caching the recursion prefixes (one per load
+// vector) so coordinate pos only re-evaluates the order suffix [pos, n).
+// With backward set, positions are visited last-to-first; the prefix caches
+// stay valid throughout because they depend only on coordinates before pos,
+// which a backward pass never touches after computing them.
+func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
+	plan := s.Plan
+	n := len(plan.Subs)
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	ev := newObjEval(s, sc)
+
+	// prevAlive[pos] is the end of the last work-bearing piece before pos;
+	// nextCap[pos] is the latest end the chain suffix after pos allows.
+	// Dead pieces are transparent on both sides. During a forward sweep the
+	// prefix side is maintained incrementally (suffix side is static, since
+	// later coordinates do not move); a backward sweep mirrors that.
+	prevAlive := make([]float64, n+1)
+	for pos := 0; pos < n; pos++ {
+		prevAlive[pos+1] = prevAlive[pos]
+		if s.WCWork[pos] > deadWork {
+			prevAlive[pos+1] = s.End[pos]
+		}
+	}
+	nextCap := make([]float64, n+1)
+	nextCap[n] = math.Inf(1)
+	for pos := n - 1; pos >= 0; pos-- {
+		if s.WCWork[pos] > deadWork {
+			nextCap[pos] = math.Max(plan.Subs[pos].Release, s.End[pos]-s.WCWork[pos]*tcMax)
+		} else {
+			nextCap[pos] = nextCap[pos+1]
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		if backward {
+			order[i] = n - 1 - i
+		} else {
+			order[i] = i
+		}
+	}
+
+	for _, pos := range order {
+		su := &plan.Subs[pos]
+		if s.WCWork[pos] <= deadWork {
+			// Dead piece: keep a consistent bookkeeping end on the chain.
+			s.End[pos] = math.Max(prevAlive[pos], su.Release)
+			if !backward {
+				prevAlive[pos+1] = prevAlive[pos]
+				ev.copyPrefix(pos)
+			} else {
+				nextCap[pos] = nextCap[pos+1]
+			}
+			continue
+		}
+		lo := math.Max(prevAlive[pos], su.Release) + s.WCWork[pos]*tcMax
+		hi := math.Min(su.Deadline, nextCap[pos+1])
+		if hi > lo+c.LineTolMs {
+			orig := s.End[pos]
+			eval := func(e float64) float64 {
+				s.End[pos] = e
+				return ev.energyFrom(pos)
+			}
+			best, _ := opt.GoldenMin(eval, lo, hi, c.LineTolMs, 200)
+			// Keep the original if the search found no strict improvement
+			// (GoldenMin may return an endpoint with equal value).
+			if eval(best) < eval(orig)-1e-15 {
+				s.End[pos] = best
+			} else {
+				s.End[pos] = orig
+			}
+		} else if lo > hi {
+			// Numerical corner: clamp into feasibility.
+			s.End[pos] = lo
+		}
+		if !backward {
+			ev.advance(pos)
+			prevAlive[pos+1] = s.End[pos]
+		} else {
+			nextCap[pos] = math.Max(su.Release, s.End[pos]-s.WCWork[pos]*tcMax)
+		}
+	}
+}
+
+// sweepSplits optimises the worst-case workload split between each adjacent
+// pair of pieces of every multi-piece instance: a scalar transfer δ moves
+// work from the later piece to the earlier one within the bounds set by
+// non-negativity and each position's worst-case chain slack. Average
+// workloads are re-derived after every accepted move, so the objective sees
+// the case-1/case-2 redistribution immediately. Pairs are visited in total
+// order of their earlier position so a prefix cache of the recursion can be
+// advanced monotonically; a pair's evaluation then only re-runs the order
+// suffix starting at that position.
+func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
+	plan := s.Plan
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	ev := newObjEval(s, sc)
+
+	// chainSlack is how many extra worst-case cycles piece pos could absorb
+	// at Vmax within its current window. The window runs from the later of
+	// its release and the previous *work-bearing* end to the earlier of its
+	// static end and deadline (a dead piece's bookkeeping end may sit past
+	// its deadline and must not count as capacity).
+	chainSlack := func(pos int) float64 {
+		prevEnd := 0.0
+		for p := pos - 1; p >= 0; p-- {
+			if s.WCWork[p] > deadWork {
+				prevEnd = s.End[p]
+				break
+			}
+		}
+		limit := math.Min(s.End[pos], plan.Subs[pos].Deadline)
+		window := limit - math.Max(prevEnd, plan.Subs[pos].Release)
+		return window/tcMax - s.WCWork[pos]
+	}
+
+	// Collect transfer pairs sorted by earlier position (total order
+	// already sorts each instance's positions ascending, and we emit pairs
+	// instance by instance, so a single stable sort by pa suffices).
+	type pair struct{ pa, pb, idx int }
+	var pairs []pair
+	for idx, positions := range plan.ByInstance {
+		for k := 0; k+1 < len(positions); k++ {
+			pairs = append(pairs, pair{positions[k], positions[k+1], idx})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].pa < pairs[j].pa })
+
+	// The evaluator's prefixes are valid up to front (exclusive); pairs are
+	// processed in ascending pa so the caches only ever advance.
+	front := 0
+	advance := func(to int) {
+		for ; front < to; front++ {
+			ev.advance(front)
+		}
+	}
+	rederive := func(idx int) {
+		deriveAvgWorkInstance(plan, s.WCWork, s.AvgWork, idx)
+		if sc != nil {
+			for k := range sc.loads {
+				sc.rederiveInstance(s, k, idx)
+			}
+		}
+	}
+
+	for _, p := range pairs {
+		advance(p.pa)
+		// δ > 0 moves workload from the later piece pb to pa.
+		dLo := math.Max(-s.WCWork[p.pa], -chainSlack(p.pb))
+		dHi := math.Min(s.WCWork[p.pb], chainSlack(p.pa))
+		if dHi-dLo < 1e-9 {
+			continue
+		}
+		wa, wb := s.WCWork[p.pa], s.WCWork[p.pb]
+		eval := func(d float64) float64 {
+			s.WCWork[p.pa] = wa + d
+			s.WCWork[p.pb] = wb - d
+			rederive(p.idx)
+			return ev.energyFrom(p.pa)
+		}
+		base := eval(0)
+		best, bestF := opt.GoldenMin(eval, dLo, dHi, 1e-6*(dHi-dLo)+1e-12, 200)
+		if bestF < base-1e-15 {
+			s.WCWork[p.pa] = wa + best
+			s.WCWork[p.pb] = wb - best
+		} else {
+			s.WCWork[p.pa] = wa
+			s.WCWork[p.pb] = wb
+		}
+		rederive(p.idx)
+	}
+}
+
+// sweepPush is the joint-move companion to sweepEnds. Plain coordinate
+// descent bounds each end-time by its successor's *current* position, so on
+// tightly chained schedules no single coordinate can move even when shifting
+// a whole run of ends later would pay. The push sweep explores exactly that
+// direction: it moves one end anywhere up to its own deadline and ripples
+// every downstream end forward by the minimum the worst-case chain requires,
+// rejecting the move if any ripple would cross a deadline.
+func (s *Schedule) sweepPush(c Config, sc *scenarioSet) {
+	plan := s.Plan
+	n := len(plan.Subs)
+	tcMax := s.Model.CycleTime(s.Model.VMax())
+	ev := newObjEval(s, sc)
+
+	saved := make([]float64, n)
+	prevAlive := 0.0
+	for pos := 0; pos < n; pos++ {
+		su := &plan.Subs[pos]
+		if s.WCWork[pos] <= deadWork {
+			s.End[pos] = math.Max(prevAlive, su.Release)
+			ev.copyPrefix(pos)
+			continue
+		}
+		lo := math.Max(prevAlive, su.Release) + s.WCWork[pos]*tcMax
+		hi := su.Deadline
+		if hi > lo+c.LineTolMs {
+			copy(saved[pos:], s.End[pos:])
+			eval := func(e float64) float64 {
+				copy(s.End[pos:], saved[pos:])
+				s.End[pos] = e
+				prev := e
+				for q := pos + 1; q < n; q++ {
+					if s.WCWork[q] <= deadWork {
+						continue
+					}
+					loQ := math.Max(prev, plan.Subs[q].Release) + s.WCWork[q]*tcMax
+					if s.End[q] < loQ {
+						if loQ > plan.Subs[q].Deadline+1e-9 {
+							return math.Inf(1) // ripple crosses a deadline
+						}
+						s.End[q] = loQ
+					}
+					prev = s.End[q]
+				}
+				return ev.energyFrom(pos)
+			}
+			base := eval(saved[pos])
+			best, bestF := opt.GoldenMin(eval, lo, hi, c.LineTolMs, 200)
+			if bestF < base-1e-15 && !math.IsInf(bestF, 1) {
+				if math.IsInf(eval(best), 1) { // re-apply; defensive
+					copy(s.End[pos:], saved[pos:])
+				}
+			} else {
+				copy(s.End[pos:], saved[pos:])
+			}
+		}
+		ev.advance(pos)
+		prevAlive = s.End[pos]
+	}
+}
+
+// deriveAvgWorkInstance recomputes the average workloads of one instance.
+func deriveAvgWorkInstance(plan *preempt.Schedule, wc, avg []float64, idx int) {
+	remaining := plan.Set.Tasks[plan.Instances[idx].TaskIndex].ACEC
+	for _, pos := range plan.ByInstance[idx] {
+		w := math.Min(remaining, wc[pos])
+		avg[pos] = w
+		remaining -= w
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/preempt"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// newScratch builds an un-optimised schedule shell with proportional splits
+// for white-box tests of the chain passes.
+func newScratch(t *testing.T, set *task.Set) *Schedule {
+	t.Helper()
+	plan, err := preempt.Build(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(plan.Subs)
+	s := &Schedule{
+		Plan:    plan,
+		Model:   power.DefaultModel(),
+		End:     make([]float64, n),
+		WCWork:  make([]float64, n),
+		AvgWork: make([]float64, n),
+	}
+	s.proportionalSplits()
+	deriveAvgWork(plan, s.WCWork, s.AvgWork)
+	return s
+}
+
+// TestAsapAlapOrdering: for feasible sets with proportional splits, the ASAP
+// chain never exceeds the ALAP chain at any work-bearing position.
+func TestAsapAlapOrdering(t *testing.T) {
+	rng := stats.NewRNG(60)
+	for trial := 0; trial < 20; trial++ {
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: 4, Ratio: 0.5, Utilization: 0.6,
+		}, 50, func(s *task.Set) bool { return Feasible(s, Config{}) == nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newScratch(t, set)
+		asap, err := s.asapEnds()
+		if err != nil {
+			continue // proportional splits can be chain-infeasible; fine
+		}
+		alap := s.alapEnds()
+		for pos := range asap {
+			if s.WCWork[pos] <= deadWork {
+				continue
+			}
+			if alap[pos] < asap[pos]-1e-9 {
+				t.Fatalf("trial %d pos %d: ALAP %g < ASAP %g", trial, pos, alap[pos], asap[pos])
+			}
+			if alap[pos] > s.Plan.Subs[pos].Deadline+1e-9 {
+				t.Fatalf("trial %d pos %d: ALAP %g past deadline %g",
+					trial, pos, alap[pos], s.Plan.Subs[pos].Deadline)
+			}
+		}
+	}
+}
+
+// TestProportionalSplitsConserve: proportional splits sum to WCEC and are
+// all strictly positive (every piece stays alive).
+func TestProportionalSplitsConserve(t *testing.T) {
+	rng := stats.NewRNG(61)
+	set, err := workload.Random(rng, workload.RandomConfig{N: 5, Ratio: 0.5, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newScratch(t, set)
+	for idx, positions := range s.Plan.ByInstance {
+		var sum float64
+		for _, pos := range positions {
+			if s.WCWork[pos] <= 0 {
+				t.Fatalf("proportional split %d is not positive", pos)
+			}
+			sum += s.WCWork[pos]
+		}
+		wcec := set.Tasks[s.Plan.Instances[idx].TaskIndex].WCEC
+		if math.Abs(sum-wcec) > 1e-9*wcec {
+			t.Fatalf("instance %d proportional splits sum %g != %g", idx, sum, wcec)
+		}
+	}
+}
+
+// TestRMSplitsConserveProperty: the RM-execution splits conserve WCEC for
+// every instance on feasible random sets.
+func TestRMSplitsConserveProperty(t *testing.T) {
+	if err := quick.Check(func(seedRaw uint16) bool {
+		rng := stats.NewRNG(uint64(seedRaw) + 7)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: 5, Ratio: 0.5, Utilization: 0.7,
+		}, 50, func(s *task.Set) bool { return Feasible(s, Config{}) == nil })
+		if err != nil {
+			return true
+		}
+		s, err := Build(set, Config{Objective: WorstCase, MaxSweeps: 1})
+		if err != nil {
+			return false
+		}
+		// Re-run the RM splits on the solved shell and check conservation.
+		if err := s.rmVmaxSplits(); err != nil {
+			return false
+		}
+		for idx, positions := range s.Plan.ByInstance {
+			var sum float64
+			for _, pos := range positions {
+				if s.WCWork[pos] < 0 {
+					return false
+				}
+				sum += s.WCWork[pos]
+			}
+			wcec := set.Tasks[s.Plan.Instances[idx].TaskIndex].WCEC
+			if math.Abs(sum-wcec) > 1e-6*wcec {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScenarioLoadsConservation: every scenario's per-piece loads sum to the
+// scenario's instance cycles, and never exceed the worst-case budgets.
+func TestScenarioLoadsConservation(t *testing.T) {
+	set := feasibleRandom(t, 62, 4, 0.1)
+	s, err := Build(set, Config{Objective: AverageCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.buildScenarios(6, 17)
+	for k := range sc.loads {
+		for idx, positions := range s.Plan.ByInstance {
+			var sum float64
+			for _, pos := range positions {
+				if sc.loads[k][pos] > s.WCWork[pos]+1e-9 {
+					t.Fatalf("scenario %d pos %d load %g exceeds budget %g",
+						k, pos, sc.loads[k][pos], s.WCWork[pos])
+				}
+				sum += sc.loads[k][pos]
+			}
+			if math.Abs(sum-sc.cycles[k][idx]) > 1e-9*(1+sc.cycles[k][idx]) {
+				t.Fatalf("scenario %d instance %d loads sum %g != cycles %g",
+					k, idx, sum, sc.cycles[k][idx])
+			}
+			tk := set.Tasks[s.Plan.Instances[idx].TaskIndex]
+			if sc.cycles[k][idx] < tk.BCEC-1e-9 || sc.cycles[k][idx] > tk.WCEC+1e-9 {
+				t.Fatalf("scenario cycles %g outside [BCEC, WCEC]", sc.cycles[k][idx])
+			}
+		}
+	}
+}
+
+// TestObjEvalPrefixConsistency: energyFrom(0) equals full() for any mix of
+// load sets — the cache machinery must not change the value.
+func TestObjEvalPrefixConsistency(t *testing.T) {
+	set := feasibleRandom(t, 63, 4, 0.3)
+	s, err := Build(set, Config{Objective: AverageCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []*scenarioSet{nil, s.buildScenarios(3, 5)} {
+		ev := newObjEval(s, sc)
+		if a, b := ev.energyFrom(0), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
+			t.Errorf("energyFrom(0)=%g != full()=%g", a, b)
+		}
+		// Mid-order evaluation after advancing must also agree.
+		mid := len(s.Plan.Subs) / 2
+		for pos := 0; pos < mid; pos++ {
+			ev.advance(pos)
+		}
+		if a, b := ev.energyFrom(mid), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
+			t.Errorf("energyFrom(mid)=%g != full()=%g", a, b)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/yds"
+)
+
+// --- E5: slack-policy ablation ---------------------------------------------
+
+// SlackCell reports the runtime energy of one (schedule, policy) pairing
+// normalised to the NoDVS baseline.
+type SlackCell struct {
+	Schedule string // "ACS" or "WCS"
+	Policy   sim.SlackPolicy
+	// RelEnergy is energy / NoDVS energy across task sets.
+	RelEnergy stats.Summary
+}
+
+// SlackPolicyAblation isolates the offline and online contributions: it runs
+// ACS and WCS schedules under greedy, static and no-DVS runtime policies on
+// random task sets (N tasks, given ratio) and reports energies relative to
+// NoDVS. The paper's headline gain needs *both* the ACS offline schedule and
+// the greedy online policy; this table shows each alone.
+func SlackPolicyAblation(c Common, n int, ratio float64) ([]SlackCell, error) {
+	cc := c.withDefaults()
+	policies := []sim.SlackPolicy{sim.Greedy, sim.Static, sim.NoDVS}
+	cells := make([]SlackCell, 0, 6)
+	for _, objName := range []string{"ACS", "WCS"} {
+		for _, pol := range policies {
+			cells = append(cells, SlackCell{Schedule: objName, Policy: pol})
+		}
+	}
+
+	for i := 0; i < cc.Sets; i++ {
+		seed := stats.NewRNG(cc.Seed + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+		rng := stats.NewRNG(seed)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
+		}, 50, feasibleFilter(cc.Model))
+		if err != nil {
+			return nil, err
+		}
+		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		if err != nil {
+			return nil, err
+		}
+		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		if err != nil {
+			return nil, err
+		}
+		simSeed := rng.Uint64()
+
+		// NoDVS energy is policy-invariant across schedules up to workload
+		// draws; use the WCS schedule's run as the normaliser.
+		base, err := sim.Run(wcs, sim.Config{Policy: sim.NoDVS, Hyperperiods: cc.Reps, Seed: simSeed})
+		if err != nil {
+			return nil, err
+		}
+		for ci := range cells {
+			s := acs
+			if cells[ci].Schedule == "WCS" {
+				s = wcs
+			}
+			r, err := sim.Run(s, sim.Config{Policy: cells[ci].Policy, Hyperperiods: cc.Reps, Seed: simSeed})
+			if err != nil {
+				return nil, err
+			}
+			cells[ci].RelEnergy.Add(r.Energy / base.Energy)
+		}
+	}
+	return cells, nil
+}
+
+// SlackTable renders the slack ablation.
+func SlackTable(cells []SlackCell) string {
+	var b strings.Builder
+	b.WriteString("E5 slack-policy ablation: energy relative to NoDVS (lower is better)\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-20s\n", "schedule", "policy", "relative energy")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-10s %-8s %6.3f ±%.3f\n",
+			c.Schedule, c.Policy, c.RelEnergy.Mean(), c.RelEnergy.CI95())
+	}
+	return b.String()
+}
+
+// --- E6: sub-instance cap ablation ------------------------------------------
+
+// CapCell reports GAP improvement at one preemption-granularity cap.
+type CapCell struct {
+	Cap         int // 0 = unlimited
+	Subs        int
+	Improvement float64
+	// Infeasible records that the cap merged segments so aggressively the
+	// worst case no longer fits at Vmax — itself an ablation finding: the
+	// fully-preemptive expansion is not just an optimisation, it is what
+	// keeps tight task sets schedulable.
+	Infeasible bool
+}
+
+// SubInstanceCapAblation sweeps preempt.Options.MaxSubsPerInstance on the
+// GAP application at the given ratio, quantifying what the fully-preemptive
+// expansion buys against its NLP cost.
+func SubInstanceCapAblation(c Common, ratio float64, caps []int) ([]CapCell, error) {
+	cc := c.withDefaults()
+	if len(caps) == 0 {
+		caps = []int{2, 4, 8, 16, 0} // 0 = the full fully-preemptive expansion
+	}
+	set, err := workload.GAP(ratio, cc.Utilization, cc.Model)
+	if err != nil {
+		return nil, err
+	}
+	var out []CapCell
+	for _, capN := range caps {
+		pre := core.Config{}
+		pre.Preempt.MaxSubsPerInstance = capN
+		imp, subs, err := compareOnSet(set, cc, cc.Seed, pre)
+		if err != nil {
+			// Aggressive merging can make the worst case unschedulable at
+			// Vmax; report the cell rather than aborting the sweep.
+			out = append(out, CapCell{Cap: capN, Infeasible: true})
+			continue
+		}
+		out = append(out, CapCell{Cap: capN, Subs: subs, Improvement: imp})
+	}
+	return out, nil
+}
+
+// CapTable renders the cap ablation.
+func CapTable(cells []CapCell) string {
+	var b strings.Builder
+	b.WriteString("E6 sub-instance cap ablation (GAP): preemption granularity vs gain\n")
+	fmt.Fprintf(&b, "%-6s %-8s %-12s\n", "cap", "subs", "improvement")
+	for _, c := range cells {
+		capLabel := fmt.Sprintf("%d", c.Cap)
+		if c.Cap == 0 {
+			capLabel = "inf"
+		}
+		if c.Infeasible {
+			fmt.Fprintf(&b, "%-6s %-8s %s\n", capLabel, "-", "infeasible at Vmax (over-merged)")
+			continue
+		}
+		fmt.Fprintf(&b, "%-6s %-8d %6.1f%%\n", capLabel, c.Subs, c.Improvement)
+	}
+	return b.String()
+}
+
+// --- E7: voltage-transition overhead ablation --------------------------------
+
+// OverheadCell reports improvement when each voltage switch costs time and
+// energy, validating the paper's negligible-overhead assumption.
+type OverheadCell struct {
+	TimeMs      float64
+	EnergyPerSw float64
+	Improvement stats.Summary
+	MissRate    float64 // fraction of runs with any deadline miss
+}
+
+// TransitionOverheadAblation re-runs the Fig. 6(a) comparison at one (N,
+// ratio) cell while charging per-switch overhead.
+func TransitionOverheadAblation(c Common, n int, ratio float64, overheads []sim.Overhead) ([]OverheadCell, error) {
+	cc := c.withDefaults()
+	if len(overheads) == 0 {
+		overheads = []sim.Overhead{
+			{},
+			{TimeMs: 0.01, EnergyPerSwitch: 0.1, Epsilon: 0.01},
+			{TimeMs: 0.05, EnergyPerSwitch: 0.5, Epsilon: 0.01},
+			{TimeMs: 0.1, EnergyPerSwitch: 1.0, Epsilon: 0.01},
+		}
+	}
+	cells := make([]OverheadCell, len(overheads))
+	for oi, ov := range overheads {
+		cells[oi] = OverheadCell{TimeMs: ov.TimeMs, EnergyPerSw: ov.EnergyPerSwitch}
+	}
+
+	misses := make([]int, len(overheads))
+	runs := 0
+	for i := 0; i < cc.Sets; i++ {
+		seed := stats.NewRNG(cc.Seed + 77 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+		rng := stats.NewRNG(seed)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
+		}, 50, feasibleFilter(cc.Model))
+		if err != nil {
+			return nil, err
+		}
+		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		if err != nil {
+			return nil, err
+		}
+		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		if err != nil {
+			return nil, err
+		}
+		simSeed := rng.Uint64()
+		runs++
+		for oi, ov := range overheads {
+			imp, ra, rb, err := sim.Compare(acs, wcs, sim.Config{
+				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Overhead: ov,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells[oi].Improvement.Add(imp)
+			if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
+				misses[oi]++
+			}
+		}
+	}
+	for oi := range cells {
+		cells[oi].MissRate = float64(misses[oi]) / float64(runs)
+	}
+	return cells, nil
+}
+
+// OverheadTable renders the overhead ablation.
+func OverheadTable(cells []OverheadCell) string {
+	var b strings.Builder
+	b.WriteString("E7 transition-overhead ablation: improvement under per-switch cost\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-16s %-8s\n", "time(ms)", "energy/sw", "improvement", "missRate")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-10g %-12g %6.1f%% ±%-6.1f %6.2f\n",
+			c.TimeMs, c.EnergyPerSw, c.Improvement.Mean(), c.Improvement.CI95(), c.MissRate)
+	}
+	return b.String()
+}
+
+// --- E8: discrete voltage levels ---------------------------------------------
+
+// LevelCell reports improvement on an L-level processor.
+type LevelCell struct {
+	Levels      int // 0 = continuous
+	Improvement stats.Summary
+}
+
+// DiscreteLevelAblation re-runs the comparison with the runtime voltage
+// quantised up to {2,4,8} uniformly spaced levels. Static schedules are
+// still solved continuously (as the paper assumes); only the runtime
+// dispatcher quantises, which preserves deadline safety because quantising
+// up never slows execution.
+func DiscreteLevelAblation(c Common, n int, ratio float64, levelCounts []int) ([]LevelCell, error) {
+	cc := c.withDefaults()
+	if len(levelCounts) == 0 {
+		levelCounts = []int{0, 8, 4, 2}
+	}
+	cells := make([]LevelCell, len(levelCounts))
+	for li, l := range levelCounts {
+		cells[li] = LevelCell{Levels: l}
+	}
+
+	for i := 0; i < cc.Sets; i++ {
+		seed := stats.NewRNG(cc.Seed + 991 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+		rng := stats.NewRNG(seed)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
+		}, 50, feasibleFilter(cc.Model))
+		if err != nil {
+			return nil, err
+		}
+		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		if err != nil {
+			return nil, err
+		}
+		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		if err != nil {
+			return nil, err
+		}
+		simSeed := rng.Uint64()
+		for li, l := range levelCounts {
+			runA, runB := acs, wcs
+			if l > 0 {
+				levels, err := power.UniformLevels(cc.Model, l)
+				if err != nil {
+					return nil, err
+				}
+				dm, err := power.NewDiscrete(cc.Model, levels)
+				if err != nil {
+					return nil, err
+				}
+				// Swap the runtime model; static End/WCWork stay as solved.
+				a2 := core.CloneSchedule(acs)
+				a2.Model = dm
+				b2 := core.CloneSchedule(wcs)
+				b2.Model = dm
+				runA, runB = a2, b2
+			}
+			imp, _, _, err := sim.Compare(runA, runB, sim.Config{
+				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells[li].Improvement.Add(imp)
+		}
+	}
+	return cells, nil
+}
+
+// LevelTable renders the discrete-level ablation.
+func LevelTable(cells []LevelCell) string {
+	var b strings.Builder
+	b.WriteString("E8 discrete-level ablation: improvement vs available voltage levels\n")
+	fmt.Fprintf(&b, "%-10s %-16s\n", "levels", "improvement")
+	for _, c := range cells {
+		label := fmt.Sprintf("%d", c.Levels)
+		if c.Levels == 0 {
+			label = "cont"
+		}
+		fmt.Fprintf(&b, "%-10s %6.1f%% ±%.1f\n", label, c.Improvement.Mean(), c.Improvement.CI95())
+	}
+	return b.String()
+}
+
+// --- E9: solver cross-check ---------------------------------------------------
+
+// CrossCheckResult compares the production coordinate-descent solver with
+// the reference solvers and the YDS lower bound on one small task set.
+type CrossCheckResult struct {
+	Subs int
+	// CD is the coordinate-descent (production) objective.
+	CD float64
+	// NM is the Nelder–Mead reference objective (end-times only).
+	NM float64
+	// Penalty is the exterior-penalty reference objective and its residual
+	// constraint violation.
+	Penalty          float64
+	PenaltyViolation float64
+	// WCSEnergy is the worst-case static energy of the WCS schedule and
+	// YDSLower the optimal preemptive-EDF lower bound for the same jobs.
+	WCSEnergy float64
+	YDSLower  float64
+}
+
+// SolverCrossCheck runs E9 on a random small set (n tasks).
+func SolverCrossCheck(c Common, n int) (*CrossCheckResult, error) {
+	cc := c.withDefaults()
+	rng := stats.NewRNG(cc.Seed + 4242)
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+		N: n, Ratio: 0.5, Utilization: cc.Utilization, Model: cc.Model,
+	}, 50, feasibleFilter(cc.Model))
+	if err != nil {
+		return nil, err
+	}
+	wcsWarm, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+	if err != nil {
+		return nil, err
+	}
+	acs, err := core.Build(set, core.Config{
+		Objective: core.AverageCase, Model: cc.Model, WarmStart: wcsWarm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CrossCheckResult{Subs: len(acs.Plan.Subs), CD: acs.Energy}
+
+	nm := core.CloneSchedule(acs)
+	if out.NM, err = core.NewNLP(nm).SolveNelderMead(opt.NelderMeadOptions{
+		MaxEvals: 20000, Tol: 1e-10, Step: 0.05,
+	}); err != nil {
+		return nil, err
+	}
+
+	pen := core.CloneSchedule(acs)
+	penNLP := core.NewNLP(pen)
+	obj, viol, err := penNLP.SolvePenalty(opt.PenaltyOptions{
+		Rounds: 4, StepIters: 150,
+	}, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	out.Penalty, out.PenaltyViolation = obj, viol
+
+	wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+	if err != nil {
+		return nil, err
+	}
+	out.WCSEnergy = wcs.Energy
+	jobs, err := yds.FromTaskSet(set)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := yds.Build(jobs)
+	if err != nil {
+		return nil, err
+	}
+	if out.YDSLower, err = ys.Energy(cc.Model); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render formats the cross-check.
+func (r *CrossCheckResult) Render() string {
+	var b strings.Builder
+	b.WriteString("E9 solver cross-check (avg-case objective; lower is better)\n")
+	fmt.Fprintf(&b, "  sub-instances:        %d\n", r.Subs)
+	fmt.Fprintf(&b, "  coordinate descent:   %.6g\n", r.CD)
+	fmt.Fprintf(&b, "  Nelder-Mead ref:      %.6g\n", r.NM)
+	fmt.Fprintf(&b, "  penalty-method ref:   %.6g (violation %.2g)\n", r.Penalty, r.PenaltyViolation)
+	fmt.Fprintf(&b, "  WCS worst-case energy %.6g  >=  YDS lower bound %.6g\n", r.WCSEnergy, r.YDSLower)
+	return b.String()
+}

@@ -1,0 +1,212 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4, Fig. 6) plus the ablation studies DESIGN.md calls out.
+// Each experiment is a pure function of its config (including the seed), so
+// results are reproducible bit-for-bit; the heavy sweeps fan out across a
+// bounded worker pool.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Common holds knobs shared by the sweep experiments.
+type Common struct {
+	// Sets is the number of random task sets per configuration cell
+	// (paper: 100; default 20 to keep a full regeneration under a few
+	// minutes — pass -sets 100 to cmd/experiments for the paper's count).
+	Sets int
+	// Reps is the number of simulated hyper-periods per task set
+	// (paper: 1000; default 200).
+	Reps int
+	// Seed is the experiment master seed.
+	Seed uint64
+	// Utilization is the worst-case utilisation target (paper: 0.7).
+	Utilization float64
+	// Workers bounds parallel task-set evaluations (default GOMAXPROCS).
+	Workers int
+	// Model overrides the processor model (default power.DefaultModel()).
+	Model power.Model
+}
+
+func (c *Common) withDefaults() Common {
+	out := *c
+	if out.Sets <= 0 {
+		out.Sets = 20
+	}
+	if out.Reps <= 0 {
+		out.Reps = 200
+	}
+	if out.Utilization <= 0 {
+		out.Utilization = 0.7
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.Model == nil {
+		out.Model = power.DefaultModel()
+	}
+	return out
+}
+
+// Cell is one aggregated point of a sweep: the distribution of ACS-over-WCS
+// improvement percentages across task sets.
+type Cell struct {
+	N           int
+	Ratio       float64
+	Improvement stats.Summary
+	// MeanSubs is the mean sub-instance count across task sets (reported
+	// against the paper's ≈1000 bound).
+	MeanSubs float64
+	// Failures counts task sets that could not be generated or solved.
+	Failures int
+}
+
+// compareOnSet builds ACS and WCS for one task set and simulates both under
+// identical stochastic workloads, returning the Fig. 6 improvement
+// percentage and the sub-instance count.
+func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct float64, subs int, err error) {
+	wcsCfg := pre
+	wcsCfg.Model = c.Model
+	wcsCfg.Objective = core.WorstCase
+	wcs, err := core.Build(set, wcsCfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("WCS: %w", err)
+	}
+
+	// Warm-start ACS from the WCS solution so ACS can never converge to a
+	// point worse (on its own objective) than the baseline it is compared
+	// against.
+	acsCfg := pre
+	acsCfg.Model = c.Model
+	acsCfg.Objective = core.AverageCase
+	acsCfg.WarmStart = wcs
+	acs, err := core.Build(set, acsCfg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ACS: %w", err)
+	}
+	imp, _, _, err := sim.Compare(acs, wcs, sim.Config{
+		Policy:       sim.Greedy,
+		Hyperperiods: c.Reps,
+		Seed:         seed,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return imp, len(acs.Plan.Subs), nil
+}
+
+// forEachSet runs fn for set indices [0, n) on a bounded worker pool,
+// collecting results in index order. Each invocation receives its own
+// deterministic seed derived from the master seed and the index, so results
+// do not depend on goroutine scheduling.
+func forEachSet(n, workers int, master uint64, fn func(i int, seed uint64) (float64, int, error)) (vals []float64, subs []int, failures int) {
+	type res struct {
+		v   float64
+		s   int
+		err error
+	}
+	out := make([]res, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seed := stats.NewRNG(master + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+			v, s, err := fn(i, seed)
+			out[i] = res{v, s, err}
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range out {
+		if r.err != nil {
+			failures++
+			continue
+		}
+		vals = append(vals, r.v)
+		subs = append(subs, r.s)
+	}
+	return vals, subs, failures
+}
+
+// Table renders cells as an aligned text table, one row per N, one column
+// per ratio — the transpose of Fig. 6(a)'s series layout.
+func Table(cells []Cell, caption string) string {
+	ns := map[int]bool{}
+	rs := map[float64]bool{}
+	for _, c := range cells {
+		ns[c.N] = true
+		rs[c.Ratio] = true
+	}
+	var nList []int
+	for n := range ns {
+		nList = append(nList, n)
+	}
+	sort.Ints(nList)
+	var rList []float64
+	for r := range rs {
+		rList = append(rList, r)
+	}
+	sort.Float64s(rList)
+
+	at := func(n int, r float64) *Cell {
+		for i := range cells {
+			if cells[i].N == n && cells[i].Ratio == r {
+				return &cells[i]
+			}
+		}
+		return nil
+	}
+
+	var b strings.Builder
+	b.WriteString(caption + "\n")
+	b.WriteString(fmt.Sprintf("%-8s", "N\\ratio"))
+	for _, r := range rList {
+		b.WriteString(fmt.Sprintf("%16.2f", r))
+	}
+	b.WriteString("\n")
+	for _, n := range nList {
+		b.WriteString(fmt.Sprintf("%-8d", n))
+		for _, r := range rList {
+			c := at(n, r)
+			if c == nil || c.Improvement.N() == 0 {
+				b.WriteString(fmt.Sprintf("%16s", "-"))
+				continue
+			}
+			b.WriteString(fmt.Sprintf("%9.1f%% ±%4.1f", c.Improvement.Mean(), c.Improvement.CI95()))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders cells as CSV rows for plotting.
+func CSV(cells []Cell) string {
+	var b strings.Builder
+	b.WriteString("n,ratio,sets,improvement_mean_pct,improvement_ci95,improvement_min,improvement_max,mean_subs,failures\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%d,%g,%d,%.3f,%.3f,%.3f,%.3f,%.1f,%d\n",
+			c.N, c.Ratio, c.Improvement.N(), c.Improvement.Mean(), c.Improvement.CI95(),
+			c.Improvement.Min(), c.Improvement.Max(), c.MeanSubs, c.Failures)
+	}
+	return b.String()
+}
+
+// feasibleFilter adapts core.Feasible for workload.RandomFeasible.
+func feasibleFilter(m power.Model) func(*task.Set) bool {
+	return func(s *task.Set) bool {
+		return core.Feasible(s, core.Config{Model: m}) == nil
+	}
+}

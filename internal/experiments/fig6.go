@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// Fig6aConfig parameterises the random-task-set sweep of Fig. 6(a).
+type Fig6aConfig struct {
+	Common
+	// TaskCounts defaults to the paper's {2, 4, 6, 8, 10}.
+	TaskCounts []int
+	// Ratios defaults to the paper's {0.1, 0.5, 0.9}.
+	Ratios []float64
+}
+
+// Fig6a reproduces Fig. 6(a): the percentage energy improvement of ACS over
+// WCS as a function of task count, one series per BCEC/WCEC ratio.
+func Fig6a(cfg Fig6aConfig) ([]Cell, error) {
+	c := cfg.Common.withDefaults()
+	counts := cfg.TaskCounts
+	if len(counts) == 0 {
+		counts = []int{2, 4, 6, 8, 10}
+	}
+	ratios := cfg.Ratios
+	if len(ratios) == 0 {
+		ratios = []float64{0.1, 0.5, 0.9}
+	}
+
+	var cells []Cell
+	for _, n := range counts {
+		for _, ratio := range ratios {
+			cell := Cell{N: n, Ratio: ratio}
+			vals, subs, failures := forEachSet(c.Sets, c.Workers, c.Seed^hash2(n, ratio),
+				func(i int, seed uint64) (float64, int, error) {
+					rng := stats.NewRNG(seed)
+					set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+						N:           n,
+						Ratio:       ratio,
+						Utilization: c.Utilization,
+						Model:       c.Model,
+					}, 50, feasibleFilter(c.Model))
+					if err != nil {
+						return 0, 0, err
+					}
+					return compareOnSet(set, c, rng.Uint64(), core.Config{})
+				})
+			cell.Improvement.AddAll(vals)
+			cell.Failures = failures
+			cell.MeanSubs = meanInts(subs)
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// Fig6bConfig parameterises the real-life application sweep of Fig. 6(b).
+type Fig6bConfig struct {
+	Common
+	// Ratios defaults to the paper's {0.1, 0.5, 0.9}.
+	Ratios []float64
+	// Apps defaults to {"CNC", "GAP"}.
+	Apps []string
+	// MaxSubsPerInstance caps preemption granularity for the larger sets
+	// (GAP). 0 means unlimited; the default 12 keeps GAP's NLP tractable
+	// while staying inside the paper's ≈1000-sub-instance budget.
+	MaxSubsPerInstance int
+}
+
+// AppCell is one Fig. 6(b) point.
+type AppCell struct {
+	App         string
+	Ratio       float64
+	Improvement float64 // percentage, single deterministic task set
+	Subs        int
+	Seeds       stats.Summary // improvement across simulation seeds
+}
+
+// Fig6b reproduces Fig. 6(b): ACS-over-WCS improvement for the CNC and GAP
+// applications across BCEC/WCEC ratios. Unlike Fig. 6(a) the task sets are
+// fixed, so variability comes only from simulation seeds: each cell runs
+// SeedReps simulations (bounded by Common.Sets) and reports their spread.
+func Fig6b(cfg Fig6bConfig) ([]AppCell, error) {
+	c := cfg.Common.withDefaults()
+	ratios := cfg.Ratios
+	if len(ratios) == 0 {
+		ratios = []float64{0.1, 0.5, 0.9}
+	}
+	apps := cfg.Apps
+	if len(apps) == 0 {
+		apps = []string{"CNC", "GAP"}
+	}
+	subCap := cfg.MaxSubsPerInstance
+	if subCap == 0 {
+		subCap = 12
+	}
+
+	var out []AppCell
+	for _, app := range apps {
+		for _, ratio := range ratios {
+			set, err := makeApp(app, ratio, c)
+			if err != nil {
+				return nil, err
+			}
+			pre := core.Config{}
+			pre.Preempt.MaxSubsPerInstance = subCap
+
+			wcsCfg := pre
+			wcsCfg.Model = c.Model
+			wcsCfg.Objective = core.WorstCase
+			wcs, err := core.Build(set, wcsCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s ratio %g WCS: %w", app, ratio, err)
+			}
+			acsCfg := pre
+			acsCfg.Model = c.Model
+			acsCfg.Objective = core.AverageCase
+			acsCfg.WarmStart = wcs
+			acs, err := core.Build(set, acsCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s ratio %g ACS: %w", app, ratio, err)
+			}
+
+			cell := AppCell{App: app, Ratio: ratio, Subs: len(acs.Plan.Subs)}
+			seedReps := c.Sets
+			if seedReps > 10 {
+				seedReps = 10
+			}
+			for k := 0; k < seedReps; k++ {
+				seed := stats.NewRNG(c.Seed + uint64(k)*0x9e3779b97f4a7c15 + hash1(app)).Uint64()
+				imp, _, _, err := sim.Compare(acs, wcs, sim.Config{
+					Policy:       sim.Greedy,
+					Hyperperiods: c.Reps,
+					Seed:         seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				cell.Seeds.Add(imp)
+			}
+			cell.Improvement = cell.Seeds.Mean()
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// AppTable renders Fig. 6(b) cells.
+func AppTable(cells []AppCell) string {
+	s := "Fig. 6(b): ACS improvement over WCS, real-life applications\n"
+	s += fmt.Sprintf("%-6s %-8s %-14s %-8s\n", "app", "ratio", "improvement", "subs")
+	for _, c := range cells {
+		s += fmt.Sprintf("%-6s %-8.2f %6.1f%% ±%-5.1f %-8d\n",
+			c.App, c.Ratio, c.Improvement, c.Seeds.CI95(), c.Subs)
+	}
+	return s
+}
+
+// AppCSV renders Fig. 6(b) cells as CSV.
+func AppCSV(cells []AppCell) string {
+	s := "app,ratio,improvement_mean_pct,improvement_ci95,subs\n"
+	for _, c := range cells {
+		s += fmt.Sprintf("%s,%g,%.3f,%.3f,%d\n", c.App, c.Ratio, c.Improvement, c.Seeds.CI95(), c.Subs)
+	}
+	return s
+}
+
+func makeApp(app string, ratio float64, c Common) (*task.Set, error) {
+	switch app {
+	case "CNC":
+		return workload.CNC(ratio, c.Utilization, c.Model)
+	case "GAP":
+		return workload.GAP(ratio, c.Utilization, c.Model)
+	case "GAPExact":
+		return workload.GAPExact(ratio, c.Utilization, c.Model)
+	default:
+		return nil, fmt.Errorf("experiments: unknown application %q", app)
+	}
+}
+
+func meanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return float64(t) / float64(len(xs))
+}
+
+func hash1(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hash2(n int, r float64) uint64 {
+	return hash1(fmt.Sprintf("%d|%g", n, r))
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/preempt"
+	"repro/internal/task"
+)
+
+// Motivation reproduces the §2.2 motivational example (Table 1, Figs. 1–2).
+//
+// The scanned Table 1 is unreadable, so the parameters are reconstructed to
+// match every number the prose states, and the reconstruction is exact:
+// three tasks sharing a 20 ms frame on the simplified processor
+// (cycle time = 1/V ms, Vmax = 4 V), each with WCEC = 20 cycles and
+// ACEC = 10 cycles. Then:
+//
+//   - the optimal worst-case static schedule (Fig. 1(a)) ends the tasks at
+//     6.7 / 13.3 / 20 ms, all at 3 V;
+//   - greedy reclamation at ACEC under that schedule (Fig. 1(b)) costs
+//     159.4 energy units;
+//   - the alternative end-times 10 / 15 / 20 ms (Fig. 2) cost 120 units at
+//     ACEC — the paper's "24% improvement" (exactly 24.7%);
+//   - under all-WCEC execution the alternative schedule needs 2 V then
+//     4 V / 4 V — feasible only because Vmax = 4 V — and costs 720 units
+//     against Fig. 1(a)'s 540: the paper's "33% increase" (exactly 33.3%).
+type MotivationResult struct {
+	// EWCSWorst is Fig. 1(a): the WCS schedule executing all-WCEC.
+	EWCSWorst float64
+	// EWCSAvg is Fig. 1(b): the WCS schedule + greedy reclamation at ACEC.
+	EWCSAvg float64
+	// EAltAvg is Fig. 2: end-times 10/15/20 + greedy reclamation at ACEC.
+	EAltAvg float64
+	// EAltWorst is Fig. 2(b): the alternative schedule executing all-WCEC.
+	EAltWorst float64
+	// EACSAvg is our NLP-optimised ACS schedule at ACEC (the paper's §3
+	// machinery applied to its own motivation).
+	EACSAvg float64
+	// ImprovementPct is 100·(EWCSAvg−EAltAvg)/EWCSAvg (paper: 24%).
+	ImprovementPct float64
+	// WorstIncreasePct is 100·(EAltWorst−EWCSWorst)/EWCSWorst (paper: 33%).
+	WorstIncreasePct float64
+	// AltVoltagesWorst are the per-task voltages of Fig. 2(b) (2, 4, 4).
+	AltVoltagesWorst []float64
+	// ACSEnds are the NLP-chosen end-times.
+	ACSEnds []float64
+}
+
+// MotivationSet returns the reconstructed three-task example set.
+func MotivationSet() (*task.Set, error) {
+	mk := func(name string) task.Task {
+		return task.Task{Name: name, Period: 20, WCEC: 20, ACEC: 10, BCEC: 5, Ceff: 1}
+	}
+	return task.NewSet([]task.Task{mk("T1"), mk("T2"), mk("T3")})
+}
+
+// MotivationModel returns the example's processor: cycle time 1/V ms,
+// voltage range [0.7, 4] V.
+func MotivationModel() (power.Model, error) {
+	return power.NewSimpleInverse(1, 0.7, 4)
+}
+
+// Motivation computes the full table.
+func Motivation() (*MotivationResult, error) {
+	set, err := MotivationSet()
+	if err != nil {
+		return nil, err
+	}
+	m, err := MotivationModel()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := preempt.Build(set) // equal periods ⇒ no preemption: 3 pieces
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Subs) != 3 {
+		return nil, fmt.Errorf("experiments: motivation plan has %d pieces, want 3", len(plan.Subs))
+	}
+
+	// Hand-built schedules with pinned end-times.
+	pinned := func(ends []float64) *core.Schedule {
+		s := &core.Schedule{
+			Plan:      plan,
+			Model:     m,
+			End:       append([]float64(nil), ends...),
+			WCWork:    []float64{20, 20, 20},
+			AvgWork:   []float64{10, 10, 10},
+			Objective: core.AverageCase,
+		}
+		return s
+	}
+	wcsSchedule := pinned([]float64{20.0 / 3, 40.0 / 3, 20})
+	altSchedule := pinned([]float64{10, 15, 20})
+
+	avg := []float64{10, 10, 10}
+	worst := []float64{20, 20, 20}
+
+	res := &MotivationResult{}
+	if res.EWCSWorst, _, err = wcsSchedule.EnergyUnder(worst); err != nil {
+		return nil, err
+	}
+	if res.EWCSAvg, _, err = wcsSchedule.EnergyUnder(avg); err != nil {
+		return nil, err
+	}
+	if res.EAltAvg, _, err = altSchedule.EnergyUnder(avg); err != nil {
+		return nil, err
+	}
+	var over float64
+	if res.EAltWorst, over, err = altSchedule.EnergyUnder(worst); err != nil {
+		return nil, err
+	}
+	if over > 1e-9 {
+		return nil, fmt.Errorf("experiments: alternative schedule missed a deadline by %g ms — reconstruction broken", over)
+	}
+	if res.AltVoltagesWorst, err = altSchedule.RuntimeVoltages(worst); err != nil {
+		return nil, err
+	}
+
+	acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: m})
+	if err != nil {
+		return nil, err
+	}
+	res.EACSAvg = acs.Energy
+	res.ACSEnds = append([]float64(nil), acs.End...)
+
+	res.ImprovementPct = 100 * (res.EWCSAvg - res.EAltAvg) / res.EWCSAvg
+	res.WorstIncreasePct = 100 * (res.EAltWorst - res.EWCSWorst) / res.EWCSWorst
+	return res, nil
+}
+
+// Render formats the motivation table against the paper's claims.
+func (r *MotivationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Motivational example (Table 1 / Figs. 1-2, reconstructed)\n")
+	fmt.Fprintf(&b, "  WCS schedule, all-WCEC        (Fig 1a): %8.1f\n", r.EWCSWorst)
+	fmt.Fprintf(&b, "  WCS schedule, ACEC + greedy   (Fig 1b): %8.1f\n", r.EWCSAvg)
+	fmt.Fprintf(&b, "  Alt schedule, ACEC + greedy   (Fig 2 ): %8.1f\n", r.EAltAvg)
+	fmt.Fprintf(&b, "  Alt schedule, all-WCEC        (Fig 2b): %8.1f  voltages %s\n",
+		r.EAltWorst, fmtVolts(r.AltVoltagesWorst))
+	fmt.Fprintf(&b, "  NLP ACS schedule, ACEC        (ours  ): %8.1f  ends %v\n", r.EACSAvg, round2(r.ACSEnds))
+	fmt.Fprintf(&b, "  improvement (paper: 24%%):  %5.1f%%\n", r.ImprovementPct)
+	fmt.Fprintf(&b, "  WC increase (paper: 33%%):  %5.1f%%\n", r.WorstIncreasePct)
+	return b.String()
+}
+
+func fmtVolts(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.2gV", v)
+	}
+	return strings.Join(parts, "/")
+}
+
+func round2(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Round(x*100) / 100
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMotivationMatchesPaper checks the reconstructed §2.2 example against
+// every number the paper states.
+func TestMotivationMatchesPaper(t *testing.T) {
+	r, err := Motivation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + r.Render())
+
+	// Fig 1(a): three tasks at 3 V for 20 cycles each: 3·20·9 = 540.
+	if math.Abs(r.EWCSWorst-540) > 1 {
+		t.Errorf("EWCSWorst = %g, want ≈540", r.EWCSWorst)
+	}
+	// Fig 2(b): 20·4 + 20·16 + 20·16 = 720 (2 V, 4 V, 4 V).
+	if math.Abs(r.EAltWorst-720) > 1 {
+		t.Errorf("EAltWorst = %g, want ≈720", r.EAltWorst)
+	}
+	// Paper: "a 24% improvement" (exact reconstruction: 24.7%).
+	if math.Abs(r.ImprovementPct-24.7) > 1 {
+		t.Errorf("ImprovementPct = %g, want ≈24.7", r.ImprovementPct)
+	}
+	// Paper: "a 33% increase" (exact: 33.3%).
+	if math.Abs(r.WorstIncreasePct-33.3) > 1 {
+		t.Errorf("WorstIncreasePct = %g, want ≈33.3", r.WorstIncreasePct)
+	}
+	// Fig 2(b) voltages: 2 V, then 4 V, 4 V.
+	want := []float64{2, 4, 4}
+	for i, v := range r.AltVoltagesWorst {
+		if math.Abs(v-want[i]) > 0.01 {
+			t.Errorf("AltVoltagesWorst[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	// Our NLP ACS must do at least as well as the hand-made alternative.
+	if r.EACSAvg > r.EAltAvg*1.001 {
+		t.Errorf("NLP ACS energy %g worse than hand-made schedule %g", r.EACSAvg, r.EAltAvg)
+	}
+}
+
+// TestFig6aSmoke runs one tiny Fig. 6(a) cell end to end.
+func TestFig6aSmoke(t *testing.T) {
+	cells, err := Fig6a(Fig6aConfig{
+		Common:     Common{Sets: 3, Reps: 20, Seed: 1},
+		TaskCounts: []int{4},
+		Ratios:     []float64{0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	t.Logf("N=4 ratio=0.1: improvement %s (failures %d)", c.Improvement.String(), c.Failures)
+	if c.Failures > 0 {
+		t.Errorf("unexpected failures: %d", c.Failures)
+	}
+	if c.Improvement.Mean() <= 0 {
+		t.Errorf("expected positive mean improvement at ratio 0.1, got %g", c.Improvement.Mean())
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// --- E10: probability-weighted objective --------------------------------------
+
+// WeightedCell compares the paper's point-ACEC objective against the
+// probability-weighted (scenario) objective it sketches in §3.2.
+type WeightedCell struct {
+	Scenarios int // 0 = point-ACEC
+	// SimEnergy is the realised mean runtime energy under the paper's
+	// stochastic workloads, relative to the WCS baseline (improvement %).
+	Improvement stats.Summary
+	// ObjGap is |objective − realised mean energy| / realised, measuring
+	// how well each offline objective predicts the online outcome.
+	ObjGap stats.Summary
+}
+
+// WeightedObjectiveAblation (E10) solves ACS with the point-ACEC objective
+// and with K-scenario probability-weighted objectives, then simulates all of
+// them under identical stochastic workloads. It quantifies the paper's claim
+// that the average workload is "a good enough approximation" of the expected
+// energy: if the claim holds, the scenario objectives should improve little
+// over point-ACEC while predicting the realised energy more accurately.
+func WeightedObjectiveAblation(c Common, n int, ratio float64, scenarioCounts []int) ([]WeightedCell, error) {
+	cc := c.withDefaults()
+	if len(scenarioCounts) == 0 {
+		scenarioCounts = []int{0, 5, 10}
+	}
+	cells := make([]WeightedCell, len(scenarioCounts))
+	for i, k := range scenarioCounts {
+		cells[i] = WeightedCell{Scenarios: k}
+	}
+
+	for i := 0; i < cc.Sets; i++ {
+		seed := stats.NewRNG(cc.Seed + 555 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+		rng := stats.NewRNG(seed)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
+		}, 50, feasibleFilter(cc.Model))
+		if err != nil {
+			return nil, err
+		}
+		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		if err != nil {
+			return nil, err
+		}
+		simSeed := rng.Uint64()
+		base, err := sim.Run(wcs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+		if err != nil {
+			return nil, err
+		}
+
+		for ci, k := range scenarioCounts {
+			acs, err := core.Build(set, core.Config{
+				Objective:    core.AverageCase,
+				Model:        cc.Model,
+				WarmStart:    wcs,
+				Scenarios:    k,
+				ScenarioSeed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := sim.Run(acs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+			if err != nil {
+				return nil, err
+			}
+			cells[ci].Improvement.Add(100 * (base.Energy - r.Energy) / base.Energy)
+
+			realised := r.Energy / float64(cc.Reps)
+			predicted := acs.Energy // point objective
+			if k > 0 {
+				if predicted, err = acs.ExpectedEnergy(k, seed); err != nil {
+					return nil, err
+				}
+			}
+			gap := predicted - realised
+			if gap < 0 {
+				gap = -gap
+			}
+			cells[ci].ObjGap.Add(100 * gap / realised)
+		}
+	}
+	return cells, nil
+}
+
+// WeightedTable renders E10.
+func WeightedTable(cells []WeightedCell) string {
+	var b strings.Builder
+	b.WriteString("E10 probability-weighted objective: scenarios vs point-ACEC\n")
+	fmt.Fprintf(&b, "%-10s %-18s %-20s\n", "scenarios", "improvement", "objective gap")
+	for _, c := range cells {
+		label := fmt.Sprintf("%d", c.Scenarios)
+		if c.Scenarios == 0 {
+			label = "ACEC"
+		}
+		fmt.Fprintf(&b, "%-10s %6.1f%% ±%-8.1f %6.1f%% ±%.1f\n",
+			label, c.Improvement.Mean(), c.Improvement.CI95(),
+			c.ObjGap.Mean(), c.ObjGap.CI95())
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	// MaxEvals bounds total objective evaluations (default 2000·dim).
+	MaxEvals int
+	// Tol is the convergence tolerance on the simplex value spread
+	// (default 1e-9).
+	Tol float64
+	// Step is the initial simplex edge length relative to |x₀| (default
+	// 0.05, with an absolute floor of 1e-3).
+	Step float64
+}
+
+// NelderMead minimises f starting from x0 by the Nelder–Mead downhill
+// simplex method with standard coefficients (reflection 1, expansion 2,
+// contraction 0.5, shrink 0.5). It returns the best point and value found.
+// The method is derivative-free and tolerates the mild non-smoothness of the
+// schedule-energy objective (max() kinks); it is practical only for small
+// dimensions and is used as a cross-check solver.
+func NelderMead(f func([]float64) float64, x0 []float64, o NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("opt: NelderMead needs at least one variable")
+	}
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 2000 * n
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.Step <= 0 {
+		o.Step = 0.05
+	}
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	// Initial simplex: x0 plus a perturbation along each axis.
+	pts := make([][]float64, n+1)
+	vals := make([]float64, n+1)
+	for i := range pts {
+		p := append([]float64(nil), x0...)
+		if i > 0 {
+			h := o.Step * math.Abs(p[i-1])
+			if h < 1e-3 {
+				h = 1e-3
+			}
+			p[i-1] += h
+		}
+		pts[i] = p
+		vals[i] = eval(p)
+	}
+
+	order := make([]int, n+1)
+	for evals < o.MaxEvals {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		best, worst, second := order[0], order[n], order[n-1]
+		if vals[worst]-vals[best] < o.Tol {
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		cen := make([]float64, n)
+		for _, i := range order[:n] {
+			for d := range cen {
+				cen[d] += pts[i][d]
+			}
+		}
+		for d := range cen {
+			cen[d] /= float64(n)
+		}
+
+		refl := combine(cen, pts[worst], 2, -1) // cen + (cen − worst)
+		fr := eval(refl)
+		switch {
+		case fr < vals[best]:
+			exp := combine(cen, pts[worst], 3, -2) // cen + 2(cen − worst)
+			if fe := eval(exp); fe < fr {
+				pts[worst], vals[worst] = exp, fe
+			} else {
+				pts[worst], vals[worst] = refl, fr
+			}
+		case fr < vals[second]:
+			pts[worst], vals[worst] = refl, fr
+		default:
+			con := combine(cen, pts[worst], 0.5, 0.5) // midpoint cen..worst
+			if fc := eval(con); fc < vals[worst] {
+				pts[worst], vals[worst] = con, fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, i := range order[1:] {
+					pts[i] = combine(pts[best], pts[i], 0.5, 0.5)
+					vals[i] = eval(pts[i])
+				}
+			}
+		}
+	}
+
+	bi := 0
+	for i := range vals {
+		if vals[i] < vals[bi] {
+			bi = i
+		}
+	}
+	return pts[bi], vals[bi], nil
+}
+
+// combine returns a·x + b·y elementwise.
+func combine(x, y []float64, a, b float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = a*x[i] + b*y[i]
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constraint is an inequality g(x) ≤ 0 for the penalty solver.
+type Constraint func(x []float64) float64
+
+// PenaltyOptions tunes the penalty-method gradient solver.
+type PenaltyOptions struct {
+	// Rounds is the number of penalty escalations (default 6).
+	Rounds int
+	// Mu0 is the initial penalty weight (default 10), multiplied by MuGrow
+	// each round (default 10).
+	Mu0, MuGrow float64
+	// StepIters bounds gradient steps per round (default 400).
+	StepIters int
+	// Grad is the finite-difference step (default 1e-6 relative).
+	Grad float64
+	// Lower and Upper are optional box bounds applied by projection; nil
+	// means unbounded on that side.
+	Lower, Upper []float64
+}
+
+// PenaltyMinimize minimises f subject to gᵢ(x) ≤ 0 by the quadratic exterior
+// penalty method with projected gradient descent and backtracking line
+// search. It is a reference solver for cross-checking the structured
+// coordinate-descent solver on small instances: robust, derivative-free at
+// the interface (gradients via central differences), and slow.
+func PenaltyMinimize(f func([]float64) float64, cons []Constraint, x0 []float64, o PenaltyOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("opt: PenaltyMinimize needs at least one variable")
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 6
+	}
+	if o.Mu0 <= 0 {
+		o.Mu0 = 10
+	}
+	if o.MuGrow <= 1 {
+		o.MuGrow = 10
+	}
+	if o.StepIters <= 0 {
+		o.StepIters = 400
+	}
+	if o.Grad <= 0 {
+		o.Grad = 1e-6
+	}
+	if o.Lower != nil && len(o.Lower) != n {
+		return nil, 0, fmt.Errorf("opt: lower bound dimension %d != %d", len(o.Lower), n)
+	}
+	if o.Upper != nil && len(o.Upper) != n {
+		return nil, 0, fmt.Errorf("opt: upper bound dimension %d != %d", len(o.Upper), n)
+	}
+
+	project := func(x []float64) {
+		for i := range x {
+			if o.Lower != nil && x[i] < o.Lower[i] {
+				x[i] = o.Lower[i]
+			}
+			if o.Upper != nil && x[i] > o.Upper[i] {
+				x[i] = o.Upper[i]
+			}
+		}
+	}
+
+	x := append([]float64(nil), x0...)
+	project(x)
+	mu := o.Mu0
+
+	penalized := func(x []float64) float64 {
+		v := f(x)
+		for _, g := range cons {
+			if viol := g(x); viol > 0 {
+				v += mu * viol * viol
+			}
+		}
+		return v
+	}
+
+	grad := make([]float64, n)
+	trial := make([]float64, n)
+	for round := 0; round < o.Rounds; round++ {
+		step := 1.0
+		fx := penalized(x)
+		for it := 0; it < o.StepIters; it++ {
+			// Central-difference gradient.
+			gnorm := 0.0
+			for i := range x {
+				h := o.Grad * (math.Abs(x[i]) + 1)
+				orig := x[i]
+				x[i] = orig + h
+				fp := penalized(x)
+				x[i] = orig - h
+				fm := penalized(x)
+				x[i] = orig
+				grad[i] = (fp - fm) / (2 * h)
+				gnorm += grad[i] * grad[i]
+			}
+			gnorm = math.Sqrt(gnorm)
+			if gnorm < 1e-12 {
+				break
+			}
+			// Backtracking line search along −grad with projection.
+			improved := false
+			for bt := 0; bt < 40; bt++ {
+				for i := range trial {
+					trial[i] = x[i] - step*grad[i]/gnorm
+				}
+				project(trial)
+				if ft := penalized(trial); ft < fx-1e-15 {
+					copy(x, trial)
+					fx = ft
+					improved = true
+					step *= 1.6 // cautiously regrow the trust step
+					break
+				}
+				step *= 0.5
+			}
+			if !improved {
+				break
+			}
+		}
+		mu *= o.MuGrow
+	}
+	return x, f(x), nil
+}
+
+// MaxViolation returns the largest positive constraint value at x (0 when
+// feasible), for reporting solution quality.
+func MaxViolation(cons []Constraint, x []float64) float64 {
+	worst := 0.0
+	for _, g := range cons {
+		if v := g(x); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

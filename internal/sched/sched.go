@@ -1,0 +1,123 @@
+// Package sched provides classical fixed-priority schedulability analysis
+// for the task model: the Liu–Layland utilisation bound, the hyperbolic
+// bound (Bini–Buttazzo), and exact response-time analysis (RTA, Joseph &
+// Pandya / Audsley). The offline voltage scheduler needs a feasibility
+// precondition — "schedulable at maximum speed" — and these tests provide it
+// analytically, cross-checking the simulation-based check in internal/core.
+//
+// All analyses take the processor's maximum-speed cycle time so workloads in
+// cycles convert to worst-case execution times in milliseconds.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/task"
+)
+
+// Utilization returns Σ Cᵢ/Tᵢ at the given cycle time (ms per cycle).
+func Utilization(set *task.Set, cycleTime float64) float64 {
+	return set.UtilizationAt(cycleTime)
+}
+
+// LiuLaylandBound returns the classic sufficient RM utilisation bound
+// n·(2^{1/n} − 1) for n tasks. Task sets at or under the bound are
+// guaranteed RM-schedulable; above it the test is inconclusive.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// LiuLaylandSchedulable reports whether the set passes the Liu–Layland
+// sufficient test at the given cycle time.
+func LiuLaylandSchedulable(set *task.Set, cycleTime float64) bool {
+	return Utilization(set, cycleTime) <= LiuLaylandBound(set.N())+1e-12
+}
+
+// HyperbolicSchedulable reports the Bini–Buttazzo hyperbolic bound:
+// Π (Uᵢ + 1) ≤ 2 is sufficient for RM schedulability and uniformly
+// dominates Liu–Layland.
+func HyperbolicSchedulable(set *task.Set, cycleTime float64) bool {
+	prod := 1.0
+	for i := range set.Tasks {
+		u := set.Tasks[i].WCEC * cycleTime / float64(set.Tasks[i].Period)
+		prod *= u + 1
+	}
+	return prod <= 2+1e-12
+}
+
+// ResponseTimes computes the exact worst-case response time of every task
+// under preemptive RM (deadline = period, synchronous release) by the
+// standard fixed-point iteration
+//
+//	R = C_i + Σ_{j higher} ⌈R/T_j⌉ · C_j.
+//
+// Tasks sharing a period have equal RM priority; the analysis
+// conservatively treats earlier-indexed tasks as higher priority, matching
+// the deterministic tie-break used throughout this repository. An error is
+// returned if any response time exceeds its deadline (the set is
+// unschedulable at this speed) or fails to converge.
+func ResponseTimes(set *task.Set, cycleTime float64) ([]float64, error) {
+	n := set.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ci := set.Tasks[i].WCEC * cycleTime
+		r := ci
+		for iter := 0; iter < 10000; iter++ {
+			next := ci
+			for j := 0; j < i; j++ {
+				cj := set.Tasks[j].WCEC * cycleTime
+				next += math.Ceil(r/float64(set.Tasks[j].Period)) * cj
+			}
+			if next > float64(set.Tasks[i].Period)+1e-9 {
+				return nil, fmt.Errorf(
+					"sched: task %q response time %.6g exceeds deadline %d at this speed",
+					set.Tasks[i].Name, next, set.Tasks[i].Period)
+			}
+			if math.Abs(next-r) < 1e-12 {
+				r = next
+				break
+			}
+			r = next
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// RTASchedulable reports whether exact response-time analysis admits the
+// set at the given cycle time.
+func RTASchedulable(set *task.Set, cycleTime float64) bool {
+	_, err := ResponseTimes(set, cycleTime)
+	return err == nil
+}
+
+// MinCycleTime returns the largest cycle time (slowest uniform speed) at
+// which the set remains RTA-schedulable, found by bisection between the
+// given maximum-speed cycle time and the utilisation-1 bound. It is the
+// uniform-slowdown headroom a static voltage scheduler can exploit.
+func MinCycleTime(set *task.Set, fastCycleTime float64) (float64, error) {
+	if !RTASchedulable(set, fastCycleTime) {
+		return 0, fmt.Errorf("sched: set unschedulable even at the fastest speed")
+	}
+	// Upper bound: cycle time at which utilisation hits 1 (beyond that no
+	// schedule exists on one processor).
+	u := Utilization(set, fastCycleTime)
+	hi := fastCycleTime / u // utilisation scales linearly in cycle time
+	if RTASchedulable(set, hi) {
+		return hi, nil
+	}
+	lo := fastCycleTime
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		if RTASchedulable(set, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func mustSet(t *testing.T, tasks ...task.Task) *task.Set {
+	t.Helper()
+	s, err := task.NewSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLiuLaylandBoundValues(t *testing.T) {
+	if b := LiuLaylandBound(1); b != 1 {
+		t.Errorf("LL(1) = %g, want 1", b)
+	}
+	if b := LiuLaylandBound(2); math.Abs(b-0.8284271247) > 1e-9 {
+		t.Errorf("LL(2) = %g", b)
+	}
+	// The bound decreases towards ln 2.
+	if b := LiuLaylandBound(1000); math.Abs(b-math.Ln2) > 1e-3 {
+		t.Errorf("LL(1000) = %g, want ≈ln2", b)
+	}
+	if LiuLaylandBound(0) != 0 {
+		t.Error("LL(0) should be 0")
+	}
+}
+
+// TestClassicRTAExample: the textbook three-task example (Buttazzo):
+// C = {1, 2, 3}, T = {4, 6, 10}: response times 1, 3, 10 — schedulable
+// exactly at the deadline for the lowest-priority task.
+func TestClassicRTAExample(t *testing.T) {
+	set := mustSet(t,
+		task.Task{Name: "t1", Period: 4, WCEC: 1, ACEC: 1, BCEC: 1, Ceff: 1},
+		task.Task{Name: "t2", Period: 6, WCEC: 2, ACEC: 2, BCEC: 2, Ceff: 1},
+		task.Task{Name: "t3", Period: 10, WCEC: 3, ACEC: 3, BCEC: 3, Ceff: 1},
+	)
+	rts, err := ResponseTimes(set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 10}
+	for i := range want {
+		if math.Abs(rts[i]-want[i]) > 1e-9 {
+			t.Errorf("R[%d] = %g, want %g", i, rts[i], want[i])
+		}
+	}
+	// U = 1/4 + 2/6 + 3/10 = 0.8833 > LL(3) = 0.7798: LL inconclusive, RTA
+	// schedulable — the classic separation.
+	if LiuLaylandSchedulable(set, 1) {
+		t.Error("LL should be inconclusive here")
+	}
+	if !RTASchedulable(set, 1) {
+		t.Error("RTA should admit the classic example")
+	}
+}
+
+func TestRTARejectsOverload(t *testing.T) {
+	set := mustSet(t,
+		task.Task{Name: "a", Period: 10, WCEC: 6, ACEC: 6, BCEC: 6, Ceff: 1},
+		task.Task{Name: "b", Period: 10, WCEC: 6, ACEC: 6, BCEC: 6, Ceff: 1},
+	)
+	if RTASchedulable(set, 1) {
+		t.Error("U=1.2 accepted")
+	}
+	if _, err := ResponseTimes(set, 1); err == nil {
+		t.Error("ResponseTimes returned no error on overload")
+	}
+}
+
+// TestBoundHierarchy: LL ⊆ hyperbolic ⊆ RTA on random sets (each test
+// admits at least what the previous admits).
+func TestBoundHierarchy(t *testing.T) {
+	rng := stats.NewRNG(3)
+	m := power.DefaultModel()
+	tc := m.CycleTime(m.VMax())
+	if err := quick.Check(func(nRaw, uRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		u := 0.3 + float64(uRaw%60)/100 // 0.3 .. 0.89
+		set, err := workload.Random(rng, workload.RandomConfig{N: n, Ratio: 0.5, Utilization: u})
+		if err != nil {
+			return false
+		}
+		ll := LiuLaylandSchedulable(set, tc)
+		hb := HyperbolicSchedulable(set, tc)
+		rta := RTASchedulable(set, tc)
+		if ll && !hb {
+			return false // hyperbolic dominates LL
+		}
+		if hb && !rta {
+			return false // RTA is exact, admits everything sufficient tests admit
+		}
+		return true
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRTAAgreesWithCoreFeasible: the analytical test and the simulation
+// chain check in internal/core must agree on RM-ordered sets (both are
+// exact for this model).
+func TestRTAAgreesWithCoreFeasible(t *testing.T) {
+	rng := stats.NewRNG(5)
+	m := power.DefaultModel()
+	tc := m.CycleTime(m.VMax())
+	agree, total := 0, 0
+	for i := 0; i < 40; i++ {
+		u := 0.5 + 0.45*rng.Float64()
+		set, err := workload.Random(rng, workload.RandomConfig{N: 5, Ratio: 0.5, Utilization: u})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rta := RTASchedulable(set, tc)
+		sim := core.Feasible(set, core.Config{}) == nil
+		total++
+		if rta == sim {
+			agree++
+		} else if rta && !sim {
+			// RTA admitting what the chain rejects would be a soundness bug
+			// (the chain replays an exact RM execution).
+			t.Errorf("set %d: RTA schedulable but core chain infeasible", i)
+		}
+		// sim && !rta can only happen for equal-priority ties resolved
+		// differently; tolerated but counted.
+	}
+	if agree < total*9/10 {
+		t.Errorf("RTA and simulation agree on only %d/%d sets", agree, total)
+	}
+}
+
+func TestMinCycleTime(t *testing.T) {
+	set := mustSet(t,
+		task.Task{Name: "a", Period: 10, WCEC: 2, ACEC: 2, BCEC: 2, Ceff: 1},
+		task.Task{Name: "b", Period: 20, WCEC: 4, ACEC: 4, BCEC: 4, Ceff: 1},
+	)
+	// U at tc=1: 0.2 + 0.2 = 0.4 → slowest uniform speed is tc = 2.5
+	// (harmonic periods: schedulable right up to U = 1).
+	tcMin, err := MinCycleTime(set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tcMin-2.5) > 1e-6 {
+		t.Errorf("MinCycleTime = %g, want 2.5", tcMin)
+	}
+	if !RTASchedulable(set, tcMin-1e-9) {
+		t.Error("set should be schedulable just under the reported cycle time")
+	}
+	// Overloaded set errors.
+	bad := mustSet(t,
+		task.Task{Name: "x", Period: 10, WCEC: 12, ACEC: 12, BCEC: 12, Ceff: 1},
+	)
+	if _, err := MinCycleTime(bad, 1); err == nil {
+		t.Error("overloaded set accepted")
+	}
+}
+
+func TestUtilizationHelper(t *testing.T) {
+	set := mustSet(t,
+		task.Task{Name: "a", Period: 10, WCEC: 5, ACEC: 5, BCEC: 5, Ceff: 1},
+	)
+	if u := Utilization(set, 0.5); math.Abs(u-0.25) > 1e-12 {
+		t.Errorf("U = %g, want 0.25", u)
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim is the online phase of the paper's system: a deterministic
+// discrete-event simulation of the DVS runtime that executes a static
+// schedule (internal/core) over many hyper-periods while actual task
+// workloads vary stochastically, reclaiming slack from early completions to
+// lower the supply voltage of subsequent sub-instances (§2.2, §4).
+//
+// The dispatcher follows the fully-preemptive total order of the static
+// plan; preemption points are exactly the higher-priority release times, so
+// the order coincides with preemptive RM in the worst case and the static
+// end-times are a sound contract (see DESIGN.md §2).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/stats"
+)
+
+// SlackPolicy selects how runtime slack is used.
+type SlackPolicy int
+
+const (
+	// Greedy gives all slack from the just-finished piece to the next one
+	// by recomputing its voltage from the actual start time and its static
+	// end-time — the paper's runtime policy.
+	Greedy SlackPolicy = iota
+	// Static executes every piece at the voltage the static schedule
+	// implies (worst-case budget over the full static window), idling on
+	// early completion. It isolates the offline contribution (ablation E5).
+	Static
+	// NoDVS runs everything at Vmax, idling otherwise — the no-scaling
+	// reference that normalises absolute energies.
+	NoDVS
+)
+
+// String names the policy.
+func (p SlackPolicy) String() string {
+	switch p {
+	case Greedy:
+		return "greedy"
+	case Static:
+		return "static"
+	case NoDVS:
+		return "nodvs"
+	default:
+		return fmt.Sprintf("SlackPolicy(%d)", int(p))
+	}
+}
+
+// Overhead models voltage-transition cost (ablation E7; the paper assumes
+// both are negligible, §3). TimeMs is charged on every voltage change before
+// execution resumes; EnergyPerSwitch is added to the energy account.
+type Overhead struct {
+	TimeMs          float64
+	EnergyPerSwitch float64
+	// Epsilon is the voltage-change deadband: changes smaller than this do
+	// not count as switches. Zero means every change switches.
+	Epsilon float64
+}
+
+// Config parameterises a simulation run.
+type Config struct {
+	// Policy is the slack policy (default Greedy).
+	Policy SlackPolicy
+	// Hyperperiods is the number of hyper-periods to simulate (paper: one
+	// thousand). Default 100.
+	Hyperperiods int
+	// Seed seeds the workload draws; runs with equal seeds are identical.
+	Seed uint64
+	// Overhead, when non-zero, charges voltage-transition costs.
+	Overhead Overhead
+	// Dist overrides the per-instance actual-workload distribution; nil
+	// selects the paper's truncated Normal (mean ACEC, σ = (WCEC−BCEC)/6,
+	// support [BCEC, WCEC]).
+	Dist Distribution
+}
+
+// Distribution draws an actual execution cycle count for one release of a
+// task described by (bcec, acec, wcec).
+type Distribution func(rng *stats.RNG, bcec, acec, wcec float64) float64
+
+// PaperDist is the §4 distribution: Normal with mean ACEC and standard
+// deviation (WCEC−BCEC)/6, truncated to [BCEC, WCEC].
+func PaperDist(rng *stats.RNG, bcec, acec, wcec float64) float64 {
+	return rng.TruncNormal(acec, (wcec-bcec)/6, bcec, wcec)
+}
+
+// UniformDist draws uniformly over [BCEC, WCEC] (ablation).
+func UniformDist(rng *stats.RNG, bcec, acec, wcec float64) float64 {
+	return rng.Uniform(bcec, wcec)
+}
+
+// AlwaysWCECDist pins every release at its worst case (adversarial check).
+func AlwaysWCECDist(_ *stats.RNG, _, _, wcec float64) float64 { return wcec }
+
+// AlwaysACECDist pins every release at its average case.
+func AlwaysACECDist(_ *stats.RNG, _, acec, _ float64) float64 { return acec }
+
+// BimodalDist models tasks that normally run short but occasionally need
+// their worst case — the scenario the paper's abstract highlights. 10% of
+// releases cluster near WCEC, the rest near BCEC.
+func BimodalDist(rng *stats.RNG, bcec, _, wcec float64) float64 {
+	sigma := (wcec - bcec) / 12
+	return rng.Bimodal(bcec+sigma, wcec-sigma, sigma, 0.1, bcec, wcec)
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	// Energy is the total energy over all simulated hyper-periods.
+	Energy float64
+	// PerHyperperiod summarises energy per hyper-period.
+	PerHyperperiod stats.Summary
+	// DeadlineMisses counts sub-instances that completed after their
+	// absolute deadline (must be zero for valid schedules).
+	DeadlineMisses int
+	// WorstOvershoot is the largest deadline overshoot observed (ms).
+	WorstOvershoot float64
+	// BusyTime is total executing time (ms) across the run.
+	BusyTime float64
+	// Switches counts voltage transitions (with Overhead.Epsilon deadband).
+	Switches int
+	// MeanVoltage is the execution-time-weighted mean supply voltage.
+	MeanVoltage float64
+}
+
+// Run simulates schedule s under cfg and returns aggregate statistics.
+func Run(s *core.Schedule, cfg Config) (*Result, error) {
+	if s == nil {
+		return nil, fmt.Errorf("sim: nil schedule")
+	}
+	if cfg.Hyperperiods <= 0 {
+		cfg.Hyperperiods = 100
+	}
+	dist := cfg.Dist
+	if dist == nil {
+		dist = PaperDist
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	res := &Result{}
+	actual := make([]float64, len(s.Plan.Instances))
+	var voltWeighted float64
+
+	for h := 0; h < cfg.Hyperperiods; h++ {
+		for idx := range actual {
+			t := &s.Plan.Set.Tasks[s.Plan.Instances[idx].TaskIndex]
+			actual[idx] = dist(rng, t.BCEC, t.ACEC, t.WCEC)
+		}
+		hp, err := runOne(s, cfg, actual)
+		if err != nil {
+			return nil, err
+		}
+		res.Energy += hp.energy
+		res.PerHyperperiod.Add(hp.energy)
+		res.DeadlineMisses += hp.misses
+		if hp.worstOver > res.WorstOvershoot {
+			res.WorstOvershoot = hp.worstOver
+		}
+		res.BusyTime += hp.busy
+		res.Switches += hp.switches
+		voltWeighted += hp.voltTime
+	}
+	if res.BusyTime > 0 {
+		res.MeanVoltage = voltWeighted / res.BusyTime
+	}
+	return res, nil
+}
+
+type hyperResult struct {
+	energy    float64
+	misses    int
+	worstOver float64
+	busy      float64
+	switches  int
+	voltTime  float64 // ∫ V dt over busy time
+}
+
+// runOne executes one hyper-period. Each instance's actual cycles are
+// consumed across its pieces in total order, each piece bounded by its
+// worst-case budget; the runtime voltage of a piece depends on the policy.
+func runOne(s *core.Schedule, cfg Config, actual []float64) (hyperResult, error) {
+	var out hyperResult
+	remaining := append([]float64(nil), actual...)
+	model := s.Model
+	t := 0.0
+	lastV := math.NaN()
+
+	for pos := range s.Plan.Subs {
+		su := &s.Plan.Subs[pos]
+		if s.WCWork[pos] <= 0 {
+			continue
+		}
+		w := math.Min(remaining[su.InstanceIndex], s.WCWork[pos])
+		remaining[su.InstanceIndex] -= w
+		if w <= 0 {
+			continue
+		}
+		a := math.Max(t, su.Release)
+
+		var v float64
+		switch cfg.Policy {
+		case Greedy:
+			v, _ = power.VoltageForWindow(model, s.WCWork[pos], s.End[pos]-a)
+		case Static:
+			// Voltage from the *static* window: budget over [static start,
+			// end], where the static start is the latest time the worst
+			// case could begin — end minus the worst-case execution span.
+			v, _ = power.VoltageForWindow(model, s.WCWork[pos], staticWindow(s, pos))
+		case NoDVS:
+			v = model.VMax()
+		default:
+			return out, fmt.Errorf("sim: unknown slack policy %v", cfg.Policy)
+		}
+
+		if cfg.Overhead.TimeMs > 0 || cfg.Overhead.EnergyPerSwitch > 0 {
+			if math.IsNaN(lastV) || math.Abs(v-lastV) > cfg.Overhead.Epsilon {
+				out.switches++
+				out.energy += cfg.Overhead.EnergyPerSwitch
+				a += cfg.Overhead.TimeMs
+			}
+		} else if math.IsNaN(lastV) || v != lastV {
+			out.switches++
+		}
+		lastV = v
+
+		dur := w * model.CycleTime(v)
+		end := a + dur
+		ceff := s.Plan.Set.Tasks[su.TaskIndex].Ceff
+		out.energy += power.Energy(ceff, v, w)
+		out.busy += dur
+		out.voltTime += v * dur
+		t = end
+
+		// A piece that finished its share late only matters if the parent
+		// instance has no later budget; conservatively flag any end past
+		// the absolute deadline — correct schedules never trigger it.
+		if end > su.Deadline+1e-9 {
+			out.misses++
+			if over := end - su.Deadline; over > out.worstOver {
+				out.worstOver = over
+			}
+		}
+	}
+	return out, nil
+}
+
+// staticWindow returns the window the static schedule reserved for piece
+// pos: from the latest worst-case start of the previous piece (its end) or
+// the release, to pos's end-time.
+func staticWindow(s *core.Schedule, pos int) float64 {
+	prevEnd := 0.0
+	if pos > 0 {
+		prevEnd = s.End[pos-1]
+	}
+	start := math.Max(prevEnd, s.Plan.Subs[pos].Release)
+	return s.End[pos] - start
+}
+
+// Compare runs two schedules under identical workload draws (same seed and
+// distribution) and returns the percentage energy improvement of a over b:
+// 100·(E_b − E_a)/E_b. This is the quantity Fig. 6 plots with a = ACS and
+// b = WCS.
+func Compare(a, b *core.Schedule, cfg Config) (improvementPct float64, ra, rb *Result, err error) {
+	ra, err = Run(a, cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	rb, err = Run(b, cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if rb.Energy <= 0 {
+		return 0, ra, rb, fmt.Errorf("sim: baseline consumed no energy")
+	}
+	return 100 * (rb.Energy - ra.Energy) / rb.Energy, ra, rb, nil
+}

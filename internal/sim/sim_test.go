@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func buildPair(t *testing.T, seed uint64, n int, ratio float64) (*core.Schedule, *core.Schedule) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+		N: n, Ratio: ratio, Utilization: 0.7,
+	}, 50, func(s *task.Set) bool { return core.Feasible(s, core.Config{}) == nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcs, err := core.Build(set, core.Config{Objective: core.WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, err := core.Build(set, core.Config{Objective: core.AverageCase, WarmStart: wcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acs, wcs
+}
+
+func TestRunDeterminism(t *testing.T) {
+	acs, _ := buildPair(t, 1, 4, 0.3)
+	a, err := Run(acs, Config{Hyperperiods: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(acs, Config{Hyperperiods: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.Switches != b.Switches {
+		t.Error("identical seeds produced different results")
+	}
+	c, err := Run(acs, Config{Hyperperiods: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy == c.Energy {
+		t.Error("different seeds produced identical energy")
+	}
+}
+
+// TestNoDeadlineMisses is the safety property: valid schedules never miss,
+// under any distribution including always-WCEC.
+func TestNoDeadlineMisses(t *testing.T) {
+	dists := map[string]Distribution{
+		"paper":   PaperDist,
+		"uniform": UniformDist,
+		"bimodal": BimodalDist,
+		"wcec":    AlwaysWCECDist,
+		"acec":    AlwaysACECDist,
+	}
+	for _, seed := range []uint64{2, 3, 4} {
+		acs, wcs := buildPair(t, seed, 5, 0.1)
+		for name, d := range dists {
+			for _, s := range []*core.Schedule{acs, wcs} {
+				r, err := Run(s, Config{Hyperperiods: 30, Seed: seed, Dist: d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.DeadlineMisses != 0 {
+					t.Errorf("seed %d dist %s %v: %d misses (worst overshoot %g ms)",
+						seed, name, s.Objective, r.DeadlineMisses, r.WorstOvershoot)
+				}
+			}
+		}
+	}
+}
+
+// TestGreedyNeverWorseThanStatic: reclaiming slack can only lower energy on
+// this power model (voltage monotone in window).
+func TestGreedyNeverWorseThanStatic(t *testing.T) {
+	for _, seed := range []uint64{5, 6} {
+		acs, wcs := buildPair(t, seed, 4, 0.1)
+		for _, s := range []*core.Schedule{acs, wcs} {
+			g, err := Run(s, Config{Policy: Greedy, Hyperperiods: 40, Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Run(s, Config{Policy: Static, Hyperperiods: 40, Seed: 77})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Energy > st.Energy*(1+1e-9) {
+				t.Errorf("seed %d %v: greedy %g > static %g", seed, s.Objective, g.Energy, st.Energy)
+			}
+		}
+	}
+}
+
+// TestStaticNeverWorseThanNoDVS: any voltage scaling beats always-Vmax.
+func TestStaticNeverWorseThanNoDVS(t *testing.T) {
+	acs, _ := buildPair(t, 8, 4, 0.5)
+	st, err := Run(acs, Config{Policy: Static, Hyperperiods: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := Run(acs, Config{Policy: NoDVS, Hyperperiods: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Energy > nd.Energy*(1+1e-9) {
+		t.Errorf("static %g > nodvs %g", st.Energy, nd.Energy)
+	}
+}
+
+// TestEnergyScalesWithWork: pinning all workloads at WCEC must cost at least
+// as much as pinning at ACEC under the same schedule and policy.
+func TestEnergyScalesWithWork(t *testing.T) {
+	acs, _ := buildPair(t, 9, 4, 0.3)
+	wc, err := Run(acs, Config{Hyperperiods: 10, Seed: 1, Dist: AlwaysWCECDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Run(acs, Config{Hyperperiods: 10, Seed: 1, Dist: AlwaysACECDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Energy > wc.Energy*(1+1e-9) {
+		t.Errorf("ACEC energy %g > WCEC energy %g", ac.Energy, wc.Energy)
+	}
+}
+
+// TestACECEnergyMatchesObjective: simulating with every instance pinned at
+// ACEC must reproduce the ACS objective value exactly — the simulator and
+// the NLP evaluator are the same recursion.
+func TestACECEnergyMatchesObjective(t *testing.T) {
+	acs, _ := buildPair(t, 10, 5, 0.1)
+	r, err := Run(acs, Config{Hyperperiods: 3, Seed: 1, Dist: AlwaysACECDist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perHP := r.Energy / 3
+	if math.Abs(perHP-acs.Energy) > 1e-6*acs.Energy {
+		t.Errorf("simulated ACEC energy %g != objective %g", perHP, acs.Energy)
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	acs, _ := buildPair(t, 11, 3, 0.5)
+	base, err := Run(acs, Config{Hyperperiods: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOv, err := Run(acs, Config{Hyperperiods: 20, Seed: 2,
+		Overhead: Overhead{EnergyPerSwitch: 1, Epsilon: 0.001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOv.Energy <= base.Energy {
+		t.Error("switch energy not charged")
+	}
+	if withOv.Switches == 0 {
+		t.Error("no switches counted")
+	}
+	extra := withOv.Energy - base.Energy
+	if math.Abs(extra-float64(withOv.Switches)) > 1e-6*extra {
+		t.Errorf("switch energy %g does not match %d switches", extra, withOv.Switches)
+	}
+}
+
+func TestCompareUsesIdenticalDraws(t *testing.T) {
+	acs, wcs := buildPair(t, 12, 4, 0.5)
+	imp1, _, _, err := Compare(acs, wcs, Config{Hyperperiods: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp2, _, _, err := Compare(acs, wcs, Config{Hyperperiods: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp1 != imp2 {
+		t.Error("Compare not deterministic")
+	}
+	// Comparing a schedule against itself must give exactly zero.
+	self, _, _, err := Compare(acs, acs, Config{Hyperperiods: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != 0 {
+		t.Errorf("self-comparison improvement = %g", self)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	acs, _ := buildPair(t, 13, 2, 0.5)
+	if _, err := Run(acs, Config{Policy: SlackPolicy(99), Hyperperiods: 1}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestMeanVoltageWithinModelRange(t *testing.T) {
+	acs, _ := buildPair(t, 14, 4, 0.1)
+	r, err := Run(acs, Config{Hyperperiods: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanVoltage < acs.Model.VMin() || r.MeanVoltage > acs.Model.VMax() {
+		t.Errorf("mean voltage %g outside model range", r.MeanVoltage)
+	}
+	if r.BusyTime <= 0 {
+		t.Error("no busy time recorded")
+	}
+}
+
+// TestMissesUnderRandomSchedules is the property test backing the paper's
+// feasibility claim: for random feasible sets and seeds, neither ACS nor
+// WCS ever misses a deadline, and ACS's simulated energy is finite and
+// positive.
+func TestMissesUnderRandomSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep skipped in -short mode")
+	}
+	if err := quick.Check(func(seedRaw uint16, nRaw, ratioRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		ratio := float64(ratioRaw%9+1) / 10
+		rng := stats.NewRNG(uint64(seedRaw))
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: n, Ratio: ratio, Utilization: 0.7,
+		}, 50, func(s *task.Set) bool { return core.Feasible(s, core.Config{}) == nil })
+		if err != nil {
+			return true // generation failure is not this property's concern
+		}
+		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, MaxSweeps: 8})
+		if err != nil {
+			return false
+		}
+		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, MaxSweeps: 8, WarmStart: wcs})
+		if err != nil {
+			return false
+		}
+		for _, s := range []*core.Schedule{acs, wcs} {
+			r, err := Run(s, Config{Hyperperiods: 5, Seed: rng.Uint64()})
+			if err != nil || r.DeadlineMisses != 0 || !(r.Energy > 0) || math.IsInf(r.Energy, 0) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package workload provides the task-set sources of the paper's evaluation
+// (§4): the random task-set generator (periods from a harmonically
+// compatible pool, WCEC scaled to ~70% utilisation at maximum speed,
+// BCEC/WCEC ratio swept as an experiment parameter) and the two real-life
+// applications, the CNC controller (Kim et al., RTSS'96) and the Generic
+// Avionics Platform (Locke et al.).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// RandomConfig parameterises the §4 random task-set generator.
+type RandomConfig struct {
+	// N is the number of tasks (paper sweeps 2..10).
+	N int
+	// Ratio is BCEC/WCEC ∈ [0,1] (paper sweeps 0.1, 0.5, 0.9). ACEC is the
+	// truncated-Normal mean, (BCEC+WCEC)/2.
+	Ratio float64
+	// Utilization is Σ WCECᵢ·tc(Vmax)/Pᵢ (paper: 0.7).
+	Utilization float64
+	// Model supplies tc(Vmax) for the utilisation scaling; nil selects
+	// power.DefaultModel().
+	Model power.Model
+	// Periods is the period pool in ms; the default pool
+	// {10,20,25,40,50,100,200} keeps the hyper-period at 200 ms so task
+	// sets respect the paper's ≈1000-sub-instance bound.
+	Periods []int64
+	// CeffRange bounds the per-task effective capacitance, drawn uniformly;
+	// the default [1,1] gives every task unit capacitance.
+	CeffLo, CeffHi float64
+}
+
+func (c *RandomConfig) withDefaults() (RandomConfig, error) {
+	out := *c
+	if out.N <= 0 {
+		return out, fmt.Errorf("workload: task count must be positive, got %d", out.N)
+	}
+	if out.Ratio < 0 || out.Ratio > 1 {
+		return out, fmt.Errorf("workload: ratio must lie in [0,1], got %g", out.Ratio)
+	}
+	if out.Utilization <= 0 || out.Utilization > 1 {
+		return out, fmt.Errorf("workload: utilization must lie in (0,1], got %g", out.Utilization)
+	}
+	if out.Model == nil {
+		out.Model = power.DefaultModel()
+	}
+	if len(out.Periods) == 0 {
+		out.Periods = []int64{10, 20, 25, 40, 50, 100, 200}
+	}
+	for _, p := range out.Periods {
+		if p <= 0 {
+			return out, fmt.Errorf("workload: period pool contains non-positive %d", p)
+		}
+	}
+	if out.CeffLo == 0 && out.CeffHi == 0 {
+		out.CeffLo, out.CeffHi = 1, 1
+	}
+	if out.CeffLo <= 0 || out.CeffHi < out.CeffLo {
+		return out, fmt.Errorf("workload: bad Ceff range [%g, %g]", out.CeffLo, out.CeffHi)
+	}
+	return out, nil
+}
+
+// Random generates one task set. WCECs are first drawn proportional to a
+// uniform weight per task, then scaled so the set's utilisation at maximum
+// speed equals cfg.Utilization exactly.
+func Random(rng *stats.RNG, cfg RandomConfig) (*task.Set, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	tcMax := c.Model.CycleTime(c.Model.VMax())
+
+	tasks := make([]task.Task, c.N)
+	for i := range tasks {
+		period := rng.ChoiceInt(c.Periods)
+		// Draw a utilisation weight; the absolute scale is fixed below.
+		weight := rng.Uniform(0.2, 1.0)
+		wcec := weight * float64(period) / tcMax
+		tasks[i] = task.Task{
+			Name:   fmt.Sprintf("T%d", i+1),
+			Period: period,
+			WCEC:   wcec,
+			BCEC:   c.Ratio * wcec,
+			ACEC:   0.5 * (1 + c.Ratio) * wcec,
+			Ceff:   rng.Uniform(c.CeffLo, c.CeffHi),
+		}
+	}
+	set, err := task.NewSet(tasks)
+	if err != nil {
+		return nil, err
+	}
+	u := set.UtilizationAt(tcMax)
+	return set.ScaleWCEC(c.Utilization / u)
+}
+
+// RandomFeasible draws task sets until one admits a feasible all-Vmax
+// schedule check (utilisation scaling guarantees U ≤ 1 but RM with
+// non-harmonic periods can still miss deadlines); it gives up after tries
+// attempts. The feasibility test is the exact ASAP chain the core solver
+// uses, so every returned set is solvable.
+func RandomFeasible(rng *stats.RNG, cfg RandomConfig, tries int, feasible func(*task.Set) bool) (*task.Set, error) {
+	if tries <= 0 {
+		tries = 50
+	}
+	for i := 0; i < tries; i++ {
+		set, err := Random(rng, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if feasible == nil || feasible(set) {
+			return set, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: no feasible task set in %d tries (N=%d, U=%g)",
+		tries, cfg.N, cfg.Utilization)
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func TestRandomBasicInvariants(t *testing.T) {
+	rng := stats.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		set, err := Random(rng, RandomConfig{N: 6, Ratio: 0.1, Utilization: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.N() != 6 {
+			t.Fatalf("N = %d", set.N())
+		}
+		m := power.DefaultModel()
+		u := set.UtilizationAt(m.CycleTime(m.VMax()))
+		if math.Abs(u-0.7) > 1e-9 {
+			t.Fatalf("utilisation %g, want 0.7", u)
+		}
+		for _, tk := range set.Tasks {
+			if math.Abs(tk.BCEC-0.1*tk.WCEC) > 1e-9*tk.WCEC {
+				t.Fatalf("task %s BCEC/WCEC = %g, want 0.1", tk.Name, tk.BCEC/tk.WCEC)
+			}
+			if math.Abs(tk.ACEC-0.5*(tk.BCEC+tk.WCEC)) > 1e-9*tk.WCEC {
+				t.Fatalf("task %s ACEC not the distribution mean", tk.Name)
+			}
+		}
+	}
+}
+
+func TestRandomDeterminism(t *testing.T) {
+	a, err := Random(stats.NewRNG(42), RandomConfig{N: 5, Ratio: 0.5, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(stats.NewRNG(42), RandomConfig{N: 5, Ratio: 0.5, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatal("same seed produced different sets")
+		}
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := []RandomConfig{
+		{N: 0, Ratio: 0.5, Utilization: 0.7},
+		{N: 3, Ratio: -0.1, Utilization: 0.7},
+		{N: 3, Ratio: 1.1, Utilization: 0.7},
+		{N: 3, Ratio: 0.5, Utilization: 0},
+		{N: 3, Ratio: 0.5, Utilization: 1.5},
+		{N: 3, Ratio: 0.5, Utilization: 0.7, Periods: []int64{0}},
+		{N: 3, Ratio: 0.5, Utilization: 0.7, CeffLo: 2, CeffHi: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Random(rng, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestRandomHyperperiodBounded: the default period pool keeps the
+// hyper-period at 200 ms, which bounds sub-instances as the paper requires.
+func TestRandomHyperperiodBounded(t *testing.T) {
+	rng := stats.NewRNG(5)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		set, err := Random(rng, RandomConfig{N: n, Ratio: 0.5, Utilization: 0.7})
+		if err != nil {
+			return false
+		}
+		h, err := set.Hyperperiod()
+		return err == nil && h <= 200
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomFeasibleFilter(t *testing.T) {
+	rng := stats.NewRNG(6)
+	calls := 0
+	set, err := RandomFeasible(rng, RandomConfig{N: 4, Ratio: 0.5, Utilization: 0.7}, 10,
+		func(*task.Set) bool { calls++; return calls >= 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set == nil || calls != 3 {
+		t.Errorf("filter called %d times", calls)
+	}
+	// A filter that always rejects must exhaust tries.
+	if _, err := RandomFeasible(rng, RandomConfig{N: 4, Ratio: 0.5, Utilization: 0.7}, 5,
+		func(*task.Set) bool { return false }); err == nil {
+		t.Error("always-rejecting filter succeeded")
+	}
+}
+
+func TestCNCShape(t *testing.T) {
+	set, err := CNC(0.1, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N() != 8 {
+		t.Fatalf("CNC has %d tasks, want 8", set.N())
+	}
+	h, err := set.Hyperperiod()
+	if err != nil || h != 48 {
+		t.Errorf("CNC H = %d, want 48", h)
+	}
+	m := power.DefaultModel()
+	if u := set.UtilizationAt(m.CycleTime(m.VMax())); math.Abs(u-0.7) > 1e-9 {
+		t.Errorf("CNC utilisation %g", u)
+	}
+}
+
+func TestGAPShape(t *testing.T) {
+	set, err := GAP(0.5, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N() != 17 {
+		t.Fatalf("GAP has %d tasks, want 17", set.N())
+	}
+	h, err := set.Hyperperiod()
+	if err != nil || h != 1000 {
+		t.Errorf("GAP H = %d, want 1000", h)
+	}
+}
+
+func TestGAPExactKeepsPublishedPeriods(t *testing.T) {
+	set, err := GAPExact(0.5, 0.7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found59, found80 := false, false
+	for _, tk := range set.Tasks {
+		if tk.Period == 59 {
+			found59 = true
+		}
+		if tk.Period == 80 {
+			found80 = true
+		}
+	}
+	if !found59 || !found80 {
+		t.Error("GAPExact lost the published 59/80 ms periods")
+	}
+}
+
+func TestRealLifeValidation(t *testing.T) {
+	if _, err := CNC(-0.1, 0.7, nil); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, err := GAP(0.5, 0, nil); err == nil {
+		t.Error("zero utilisation accepted")
+	}
+}

@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the public API exactly as the README quickstart
+// does: task set → BuildBoth → CompareSchedules.
+func TestFacadeEndToEnd(t *testing.T) {
+	set, err := NewTaskSet([]Task{
+		{Name: "ctrl", Period: 20, WCEC: 20, ACEC: 10, BCEC: 5, Ceff: 1},
+		{Name: "log", Period: 40, WCEC: 30, ACEC: 12, BCEC: 6, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, wcs, err := BuildBoth(set, ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acs.Objective != AverageCase || wcs.Objective != WorstCase {
+		t.Error("objectives mislabelled")
+	}
+	imp, ra, rb, err := CompareSchedules(acs, wcs, SimConfig{Hyperperiods: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.DeadlineMisses+rb.DeadlineMisses != 0 {
+		t.Errorf("deadline misses: %d/%d", ra.DeadlineMisses, rb.DeadlineMisses)
+	}
+	if imp <= 0 {
+		t.Errorf("expected positive improvement, got %g", imp)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	if m := DefaultModel(); m.VMax() != 4 {
+		t.Errorf("default VMax %g", m.VMax())
+	}
+	si, err := NewSimpleInverseModel(1, 0.5, 3)
+	if err != nil || si.CycleTime(2) != 0.5 {
+		t.Errorf("simple model: %v", err)
+	}
+	am, err := NewAlphaModel(1, 0.4, 1.5, 0.8, 3.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.CycleTime(2) <= 0 {
+		t.Error("alpha cycle time non-positive")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	rng := NewRNG(9)
+	set, err := RandomTaskSet(rng, RandomTaskSetConfig{N: 4, Ratio: 0.5, Utilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.N() != 4 {
+		t.Errorf("N = %d", set.N())
+	}
+	cnc, err := CNCTaskSet(0.5, 0.7, nil)
+	if err != nil || cnc.N() != 8 {
+		t.Errorf("CNC: %v", err)
+	}
+	gap, err := GAPTaskSet(0.5, 0.7, nil)
+	if err != nil || gap.N() != 17 {
+		t.Errorf("GAP: %v", err)
+	}
+}
+
+// TestFacadeSimulatePolicies exercises every exported slack policy.
+func TestFacadeSimulatePolicies(t *testing.T) {
+	set, err := NewTaskSet([]Task{
+		{Name: "a", Period: 10, WCEC: 10, ACEC: 5, BCEC: 2, Ceff: 1},
+		{Name: "b", Period: 20, WCEC: 12, ACEC: 6, BCEC: 2, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acs, _, err := BuildBoth(set, ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var energies []float64
+	for _, pol := range []SlackPolicy{Greedy, Static, NoDVS} {
+		r, err := Simulate(acs, SimConfig{Policy: pol, Hyperperiods: 50, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DeadlineMisses != 0 {
+			t.Errorf("%v: %d misses", pol, r.DeadlineMisses)
+		}
+		energies = append(energies, r.Energy)
+	}
+	// Greedy ≤ Static ≤ NoDVS.
+	if !(energies[0] <= energies[1]*(1+1e-9) && energies[1] <= energies[2]*(1+1e-9)) {
+		t.Errorf("policy energies out of order: %v", energies)
+	}
+	if math.IsNaN(energies[0]) {
+		t.Error("NaN energy")
+	}
+}
+
+func TestFacadeSchedulability(t *testing.T) {
+	set, err := NewTaskSet([]Task{
+		{Name: "a", Period: 10, WCEC: 8, ACEC: 4, BCEC: 2, Ceff: 1},
+		{Name: "b", Period: 20, WCEC: 16, ACEC: 8, BCEC: 4, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := DefaultModel().CycleTime(DefaultModel().VMax())
+	if !RTASchedulable(set, tc) {
+		t.Fatal("set should be schedulable at Vmax")
+	}
+	rts, err := ResponseTimes(set, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rts) != 2 || rts[0] <= 0 || rts[1] <= rts[0] {
+		t.Errorf("response times %v", rts)
+	}
+	slow, err := MinCycleTime(set, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= tc {
+		t.Errorf("MinCycleTime %g should exceed the fast cycle time %g", slow, tc)
+	}
+}
+
+func TestBuildScheduleSingle(t *testing.T) {
+	set, err := NewTaskSet([]Task{{Name: "x", Period: 10, WCEC: 8, ACEC: 4, BCEC: 2, Ceff: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchedule(set, ScheduleConfig{Objective: WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Energy <= 0 {
+		t.Errorf("energy %g", s.Energy)
+	}
+}
