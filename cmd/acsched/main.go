@@ -9,41 +9,56 @@
 // The built-in task sets are available without a file:
 //
 //	acsched -builtin cnc -ratio 0.1 -format table
+//
+// The solver runs a single coordinate-descent start by default; -starts N
+// explores N deterministic starting points in parallel and keeps the best.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/task"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
-	var (
-		in        = flag.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
-		builtin   = flag.String("builtin", "", "built-in task set: cnc, gap, motivation")
-		ratio     = flag.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
-		util      = flag.Float64("util", 0.7, "utilisation for built-in sets")
-		objective = flag.String("objective", "acs", "objective: acs or wcs")
-		format    = flag.String("format", "table", "output: table, csv, gantt")
-		subCap    = flag.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
-		sweeps    = flag.Int("sweeps", 0, "max coordinate-descent sweeps (0 = default)")
-	)
-	flag.Parse()
+	cliutil.Exit("acsched", run(os.Args[1:], os.Stdin, os.Stdout))
+}
 
-	set, err := loadSet(*in, *builtin, *ratio, *util)
-	if err != nil {
-		fail(err)
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("acsched", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
+		builtin   = fs.String("builtin", "", "built-in task set: cnc, gap, motivation")
+		ratio     = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
+		util      = fs.Float64("util", 0.7, "utilisation for built-in sets")
+		objective = fs.String("objective", "acs", "objective: acs or wcs")
+		format    = fs.String("format", "table", "output: table, csv, gantt")
+		subCap    = fs.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
+		sweeps    = fs.Int("sweeps", 0, "max coordinate-descent sweeps (0 = default)")
+		starts    = fs.Int("starts", 1, "multi-start count (>1 runs parallel solver starts)")
+		workers   = fs.Int("workers", 0, "multi-start worker pool (0 = GOMAXPROCS; result is identical either way)")
+		startSeed = fs.Uint64("startseed", 0, "multi-start blend jitter seed (0 = default)")
+	)
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
 	}
 
-	cfg := core.Config{MaxSweeps: *sweeps}
+	set, err := cliutil.LoadSet(stdin, *in, *builtin, *ratio, *util)
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		MaxSweeps:    *sweeps,
+		Starts:       *starts,
+		StartWorkers: *workers,
+		StartSeed:    *startSeed,
+	}
 	cfg.Preempt.MaxSubsPerInstance = *subCap
 	switch *objective {
 	case "acs":
@@ -51,7 +66,7 @@ func main() {
 	case "wcs":
 		cfg.Objective = core.WorstCase
 	default:
-		fail(fmt.Errorf("unknown objective %q (want acs or wcs)", *objective))
+		return fmt.Errorf("unknown objective %q (want acs or wcs)", *objective)
 	}
 
 	if cfg.Objective == core.AverageCase {
@@ -64,52 +79,20 @@ func main() {
 	}
 	s, err := core.Build(set, cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	switch *format {
 	case "table":
-		fmt.Printf("%s schedule for %s: %d sub-instances, objective energy %.6g (%d sweeps)\n",
+		fmt.Fprintf(stdout, "%s schedule for %s: %d sub-instances, objective energy %.6g (%d sweeps)\n",
 			s.Objective, set, len(s.Plan.Subs), s.Energy, s.Sweeps)
-		fmt.Print(trace.CSV(s))
+		fmt.Fprint(stdout, trace.CSV(s))
 	case "csv":
-		fmt.Print(trace.CSV(s))
+		fmt.Fprint(stdout, trace.CSV(s))
 	case "gantt":
-		fmt.Print(trace.Gantt(s, 100))
+		fmt.Fprint(stdout, trace.Gantt(s, 100))
 	default:
-		fail(fmt.Errorf("unknown format %q (want table, csv, gantt)", *format))
+		return fmt.Errorf("unknown format %q (want table, csv, gantt)", *format)
 	}
-}
-
-func loadSet(in, builtin string, ratio, util float64) (*task.Set, error) {
-	switch builtin {
-	case "cnc":
-		return workload.CNC(ratio, util, nil)
-	case "gap":
-		return workload.GAP(ratio, util, nil)
-	case "motivation":
-		return experiments.MotivationSet()
-	case "":
-	default:
-		return nil, fmt.Errorf("unknown builtin %q (want cnc, gap, motivation)", builtin)
-	}
-	r := io.Reader(os.Stdin)
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
-	}
-	var set task.Set
-	if err := json.NewDecoder(r).Decode(&set); err != nil {
-		return nil, fmt.Errorf("parsing task set: %w", err)
-	}
-	return &set, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "acsched:", err)
-	os.Exit(1)
+	return nil
 }

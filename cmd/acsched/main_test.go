@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunBuiltinTable: end-to-end smoke over the built-in motivation set —
+// non-empty output naming the objective and at least one schedule row.
+func TestRunBuiltinTable(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-builtin", "motivation", "-objective", "acs", "-format", "table"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "ACS schedule") {
+		t.Fatalf("output does not name the objective:\n%s", got)
+	}
+	if len(strings.Split(got, "\n")) < 3 {
+		t.Fatalf("suspiciously short output:\n%s", got)
+	}
+}
+
+// TestRunDeterministic: two identical invocations print identical bytes.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-builtin", "cnc", "-ratio", "0.1", "-objective", "acs",
+			"-format", "csv", "-starts", "4"}, strings.NewReader(""), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("output not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty output")
+	}
+}
+
+// TestRunStdinJSON: a task set supplied on stdin round-trips through the
+// JSON loader.
+func TestRunStdinJSON(t *testing.T) {
+	const set = `{"tasks":[{"name":"T1","period_ms":10,"wcec":4,"bcec":1,"acec":2,"ceff":1}]}`
+	var out strings.Builder
+	if err := run([]string{"-objective", "wcs", "-format", "csv"},
+		strings.NewReader(set), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty output for stdin task set")
+	}
+}
+
+// TestRunFlagErrors: bad flag values fail without writing a schedule.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-objective", "nope", "-builtin", "cnc"},
+		{"-format", "nope", "-builtin", "cnc"},
+		{"-builtin", "nope"},
+		{"-no-such-flag"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

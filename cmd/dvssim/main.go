@@ -10,82 +10,96 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/experiments"
 	"repro/internal/sim"
-	"repro/internal/task"
-	"repro/internal/workload"
 )
 
-func main() {
-	var (
-		in      = flag.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
-		builtin = flag.String("builtin", "", "built-in task set: cnc, gap, motivation")
-		ratio   = flag.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
-		util    = flag.Float64("util", 0.7, "utilisation for built-in sets")
-		reps    = flag.Int("reps", 1000, "hyper-periods to simulate")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		policy  = flag.String("policy", "greedy", "slack policy: greedy, static, nodvs")
-		dist    = flag.String("dist", "paper", "workload distribution: paper, uniform, bimodal, acec, wcec")
-		subCap  = flag.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
-	)
-	flag.Parse()
+// errDeadlineMiss distinguishes the warning exit (status 2) from hard
+// failures (status 1).
+var errDeadlineMiss = fmt.Errorf("deadline misses observed")
 
-	set, err := loadSet(*in, *builtin, *ratio, *util)
+func main() {
+	err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err == errDeadlineMiss {
+		fmt.Fprintln(os.Stderr, "dvssim: WARNING: deadline misses observed")
+		os.Exit(2)
+	}
+	cliutil.Exit("dvssim", err)
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dvssim", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "task-set JSON file (default stdin; ignored with -builtin)")
+		builtin = fs.String("builtin", "", "built-in task set: cnc, gap, motivation")
+		ratio   = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio for built-in sets")
+		util    = fs.Float64("util", 0.7, "utilisation for built-in sets")
+		reps    = fs.Int("reps", 1000, "hyper-periods to simulate")
+		seed    = fs.Uint64("seed", 1, "workload seed")
+		policy  = fs.String("policy", "greedy", "slack policy: greedy, static, nodvs")
+		dist    = fs.String("dist", "paper", "workload distribution: paper, uniform, bimodal, acec, wcec")
+		subCap  = fs.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
+		starts  = fs.Int("starts", 1, "solver multi-start count (>1 runs parallel starts)")
+	)
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
+	}
+
+	set, err := cliutil.LoadSet(stdin, *in, *builtin, *ratio, *util)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	pol, err := parsePolicy(*policy)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	d, err := parseDist(*dist)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	pre := core.Config{}
+	pre := core.Config{Starts: *starts}
 	pre.Preempt.MaxSubsPerInstance = *subCap
 	wcsCfg := pre
 	wcsCfg.Objective = core.WorstCase
 	wcs, err := core.Build(set, wcsCfg)
 	if err != nil {
-		fail(fmt.Errorf("WCS: %w", err))
+		return fmt.Errorf("WCS: %w", err)
 	}
 	acsCfg := pre
 	acsCfg.Objective = core.AverageCase
 	acsCfg.WarmStart = wcs
 	acs, err := core.Build(set, acsCfg)
 	if err != nil {
-		fail(fmt.Errorf("ACS: %w", err))
+		return fmt.Errorf("ACS: %w", err)
 	}
 
 	cfg := sim.Config{Policy: pol, Hyperperiods: *reps, Seed: *seed, Dist: d}
 	imp, ra, rb, err := sim.Compare(acs, wcs, cfg)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Printf("task set: %s (%d sub-instances)\n", set, len(acs.Plan.Subs))
-	fmt.Printf("policy=%s dist=%s reps=%d seed=%d\n", pol, *dist, *reps, *seed)
-	report("ACS", ra)
-	report("WCS", rb)
-	fmt.Printf("improvement of ACS over WCS: %.2f%%\n", imp)
+	fmt.Fprintf(stdout, "task set: %s (%d sub-instances)\n", set, len(acs.Plan.Subs))
+	fmt.Fprintf(stdout, "policy=%s dist=%s reps=%d seed=%d\n", pol, *dist, *reps, *seed)
+	report(stdout, "ACS", ra)
+	report(stdout, "WCS", rb)
+	fmt.Fprintf(stdout, "improvement of ACS over WCS: %.2f%%\n", imp)
 	if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
-		fmt.Fprintln(os.Stderr, "dvssim: WARNING: deadline misses observed")
-		os.Exit(2)
+		return errDeadlineMiss
 	}
+	return nil
 }
 
-func report(name string, r *sim.Result) {
-	fmt.Printf("%s: energy=%.6g (per hyper-period %s) meanV=%.3f switches=%d misses=%d\n",
+func report(w io.Writer, name string, r *sim.Result) {
+	fmt.Fprintf(w, "%s: energy=%.6g (per hyper-period %s) meanV=%.3f switches=%d misses=%d\n",
 		name, r.Energy, r.PerHyperperiod.String(), r.MeanVoltage, r.Switches, r.DeadlineMisses)
 }
 
@@ -117,37 +131,4 @@ func parseDist(s string) (sim.Distribution, error) {
 	default:
 		return nil, fmt.Errorf("unknown distribution %q", s)
 	}
-}
-
-func loadSet(in, builtin string, ratio, util float64) (*task.Set, error) {
-	switch builtin {
-	case "cnc":
-		return workload.CNC(ratio, util, nil)
-	case "gap":
-		return workload.GAP(ratio, util, nil)
-	case "motivation":
-		return experiments.MotivationSet()
-	case "":
-	default:
-		return nil, fmt.Errorf("unknown builtin %q (want cnc, gap, motivation)", builtin)
-	}
-	r := io.Reader(os.Stdin)
-	if in != "" {
-		f, err := os.Open(in)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
-	}
-	var set task.Set
-	if err := json.NewDecoder(r).Decode(&set); err != nil {
-		return nil, fmt.Errorf("parsing task set: %w", err)
-	}
-	return &set, nil
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dvssim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunBuiltinCNC: end-to-end smoke — build ACS and WCS for the CNC set,
+// simulate both, and report the improvement line.
+func TestRunBuiltinCNC(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-builtin", "cnc", "-ratio", "0.1", "-reps", "20", "-seed", "7"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"task set:", "ACS: energy=", "WCS: energy=", "improvement of ACS over WCS:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunDeterministic: identical invocations (including a multi-start
+// solve) print identical bytes.
+func TestRunDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-builtin", "motivation", "-reps", "10", "-seed", "3",
+			"-starts", "3"}, strings.NewReader(""), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("output not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestRunFlagErrors: unknown policies, distributions, builtins, and flags
+// are rejected.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-policy", "nope", "-builtin", "cnc"},
+		{"-dist", "nope", "-builtin", "cnc"},
+		{"-builtin", "nope"},
+		{"-no-such-flag"},
+	} {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

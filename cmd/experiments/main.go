@@ -29,11 +29,12 @@ func main() {
 		reps    = flag.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
 		seed    = flag.Uint64("seed", 2005, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		starts  = flag.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
 		csvDir  = flag.String("csv", "", "directory to write CSV results into")
 	)
 	flag.Parse()
 
-	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers}
+	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers, Starts: *starts}
 	want := func(name string) bool { return *only == "all" || *only == name }
 	wroteAny := false
 

@@ -1,0 +1,78 @@
+// Package cliutil holds the small helpers the cmd/ front-ends share: task-set
+// loading (file, stdin, or built-in) and flag-error exit conventions.
+package cliutil
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// ErrUsage signals a flag-parse failure whose message the FlagSet has
+// already printed; callers should exit 2 without printing anything more.
+var ErrUsage = errors.New("usage")
+
+// ParseFlags wraps fs.Parse with the classic flag exit conventions under
+// ContinueOnError: -h/-help returns flag.ErrHelp (exit 0), any other parse
+// error returns ErrUsage (message already printed by the FlagSet, exit 2).
+func ParseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return ErrUsage
+	}
+	return nil
+}
+
+// Exit terminates the process according to the error returned by a command's
+// run function: nil exits 0, flag.ErrHelp exits 0 (usage already printed),
+// ErrUsage exits 2, anything else prints "<name>: <err>" and exits 1.
+func Exit(name string, err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, ErrUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}
+
+// LoadSet resolves a task set from a built-in name, a JSON file, or stdin
+// (in that precedence), the way every CLI front-end does.
+func LoadSet(stdin io.Reader, in, builtin string, ratio, util float64) (*task.Set, error) {
+	switch builtin {
+	case "cnc":
+		return workload.CNC(ratio, util, nil)
+	case "gap":
+		return workload.GAP(ratio, util, nil)
+	case "motivation":
+		return experiments.MotivationSet()
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown builtin %q (want cnc, gap, motivation)", builtin)
+	}
+	r := stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var set task.Set
+	if err := json.NewDecoder(r).Decode(&set); err != nil {
+		return nil, fmt.Errorf("parsing task set: %w", err)
+	}
+	return &set, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/preempt"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func multiStartSet(t *testing.T) (*preempt.Schedule, Config) {
+	t.Helper()
+	rng := stats.NewRNG(77)
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+		N: 5, Ratio: 0.3, Utilization: 0.7,
+	}, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := preempt.Build(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, Config{Objective: AverageCase, Starts: 6, StartSeed: 42}
+}
+
+// TestMultiStartDeterministicAcrossWorkers: the parallel multi-start driver
+// must return bit-identical schedules for any worker count — the fan-out is
+// purely a wall-clock optimisation.
+func TestMultiStartDeterministicAcrossWorkers(t *testing.T) {
+	plan, cfg := multiStartSet(t)
+	var ref *Schedule
+	for _, workers := range []int{1, 2, 8} {
+		c := cfg
+		c.StartWorkers = workers
+		s, err := Solve(plan, c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = s
+			continue
+		}
+		if s.Energy != ref.Energy {
+			t.Fatalf("workers=%d: energy %v != reference %v", workers, s.Energy, ref.Energy)
+		}
+		for pos := range ref.End {
+			if s.End[pos] != ref.End[pos] || s.WCWork[pos] != ref.WCWork[pos] ||
+				s.AvgWork[pos] != ref.AvgWork[pos] {
+				t.Fatalf("workers=%d: schedule differs from reference at position %d", workers, pos)
+			}
+		}
+	}
+}
+
+// TestMultiStartNeverWorseThanSingle: start 0 reproduces the single-start
+// configuration, so the multi-start winner can only improve the objective.
+func TestMultiStartNeverWorseThanSingle(t *testing.T) {
+	plan, cfg := multiStartSet(t)
+	single := cfg
+	single.Starts = 0
+	s1, err := Solve(plan, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sN, err := Solve(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sN.Energy > s1.Energy+1e-12*math.Max(1, s1.Energy) {
+		t.Fatalf("multi-start energy %v worse than single-start %v", sN.Energy, s1.Energy)
+	}
+	if err := sN.Verify(1e-6 * math.Max(1, plan.Hyperperiod)); err != nil {
+		t.Fatalf("multi-start schedule fails verification: %v", err)
+	}
+}
+
+// TestMultiStartSeedVariation: different StartSeeds explore different blends
+// but every result must verify; with the warm start removed from jittered
+// starts the objective may differ, never the feasibility.
+func TestMultiStartSeedVariation(t *testing.T) {
+	plan, cfg := multiStartSet(t)
+	for _, seed := range []uint64{1, 2, 3} {
+		c := cfg
+		c.StartSeed = seed
+		s, err := Solve(plan, c)
+		if err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if err := s.Verify(1e-6 * math.Max(1, plan.Hyperperiod)); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+	}
+}

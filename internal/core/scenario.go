@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/preempt"
 	"repro/internal/stats"
 )
 
@@ -73,29 +74,123 @@ func (sc *scenarioSet) rederiveInstance(s *Schedule, k, idx int) {
 // per-vector prefix caches, so coordinate sweeps re-run only order suffixes.
 // A nil scenario set degenerates to the single point-load objective (ACEC
 // for ACS, WCEC for WCS) the paper's experiments use.
+//
+// On top of the prefix caches it keeps a *suffix memo*: a snapshot of the
+// committed solution recording, for every position, the entry time of the
+// greedy-reclamation recursion and the total energy of the order suffix from
+// that position. The recursion from a position q is a pure function of the
+// entry time and of (End, loads) over [q, n); and whenever the entry time is
+// at or before q's release, the piece starts at its release and the suffix
+// becomes independent of the entry time entirely. A trial evaluation can
+// therefore stop at the first release-bound piece past the trial's dirty
+// region and add the memoised suffix energy, instead of re-running the whole
+// order tail. This is the dirty-region invalidation that makes golden-section
+// line searches cheap: moving end-time e_u re-evaluates pieces from u forward
+// only until the perturbation is absorbed by a release-bound start.
+//
+// The evaluator is embedded in the solver workspace and reset per sweep, so
+// the golden-section inner loop runs without heap allocations.
 type objEval struct {
 	s        *Schedule
 	loadSets [][]float64
 	prefixes [][]evalState // one per load set, each length n+1
+	// snapT[i][q] is the recursion's entry time at position q in the last
+	// snapshot pass over load set i; snapSuf[i][q] is the energy of the order
+	// suffix [q, n) in that pass (snapSuf[i][n] == 0). Entries are absolute
+	// per-position values, so entries written by different passes compose.
+	snapT   [][]float64
+	snapSuf [][]float64
+	// snapFrom is the lowest position whose snapshot entries are consistent
+	// with the current committed solution: no commit at a position >= q has
+	// happened since entry q was last written, for every q >= snapFrom.
+	snapFrom int
+
+	// Flat per-position inputs of the recursion (see fillEvalArrays) plus
+	// the SimpleInverse fast-path constants mirrored from the schedule. The
+	// specialised walk in energyFrom/step reads only flat float64 arrays.
+	// plan records which plan rel/ceff were filled from, so reusing the
+	// evaluator against a different plan refreshes them.
+	plan      *preempt.Schedule
+	rel, ceff []float64
+	end, wc   []float64
+	fastOK    bool
+	k, vMin   float64
+	vMax      float64
+	// tcVMin/tcVMax are the cycle times at the voltage bounds, precomputed
+	// so the clamped branches of the inner walk need no division at all.
+	tcVMin, tcVMax float64
 }
 
-// newObjEval builds the evaluator for the schedule's current objective.
-func newObjEval(s *Schedule, sc *scenarioSet) *objEval {
-	e := &objEval{s: s}
-	if sc != nil && s.Objective == AverageCase {
-		e.loadSets = sc.loads
-	} else if s.Objective == WorstCase {
-		e.loadSets = [][]float64{s.WCWork}
+// step advances the recursion across position q, mirroring
+// Schedule.evalStep over the evaluator's flat arrays.
+func (e *objEval) step(st *evalState, q int, work float64) {
+	if !e.fastOK {
+		e.s.evalStep(st, q, work)
+		return
+	}
+	w := e.wc[q]
+	if w <= deadWork || work <= 0 {
+		return
+	}
+	a := st.t
+	if r := e.rel[q]; r > a {
+		a = r
+	}
+	window := e.end[q] - a
+	var v, tc float64
+	if window <= 0 {
+		v, tc = e.vMax, e.tcVMax
+	} else if tc = window / w; tc > e.tcVMin {
+		v, tc = e.vMin, e.tcVMin
+	} else if tc < e.tcVMax {
+		v, tc = e.vMax, e.tcVMax
 	} else {
-		e.loadSets = [][]float64{s.AvgWork}
+		v = e.k / tc
+	}
+	st.energy += e.ceff[q] * v * v * work
+	st.t = a + work*tc
+}
+
+// reset points the evaluator at the schedule's current objective and rebuilds
+// both the prefix caches and the suffix memo, reusing backing arrays.
+func (e *objEval) reset(s *Schedule, sc *scenarioSet) {
+	e.s = s
+	e.loadSets = e.loadSets[:0]
+	if sc != nil && s.Objective == AverageCase {
+		e.loadSets = append(e.loadSets, sc.loads...)
+	} else if s.Objective == WorstCase {
+		e.loadSets = append(e.loadSets, s.WCWork)
+	} else {
+		e.loadSets = append(e.loadSets, s.AvgWork)
 	}
 	n := len(s.Plan.Subs)
-	e.prefixes = make([][]evalState, len(e.loadSets))
-	for i := range e.prefixes {
-		e.prefixes[i] = make([]evalState, n+1)
+	if e.plan != s.Plan {
+		e.fillEvalArrays(s.Plan)
+		e.plan = s.Plan
+	}
+	e.end, e.wc = s.End, s.WCWork
+	e.fastOK = s.fastOK
+	e.k, e.vMin, e.vMax = s.fastK, s.fastVMin, s.fastVMax
+	e.tcVMin, e.tcVMax = s.fastTcVMin, s.fastTcVMax
+	for len(e.prefixes) < len(e.loadSets) {
+		e.prefixes = append(e.prefixes, nil)
+		e.snapT = append(e.snapT, nil)
+		e.snapSuf = append(e.snapSuf, nil)
+	}
+	for i := range e.loadSets {
+		if cap(e.prefixes[i]) < n+1 {
+			e.prefixes[i] = make([]evalState, n+1)
+			e.snapT[i] = make([]float64, n)
+			e.snapSuf[i] = make([]float64, n+1)
+		}
+		e.prefixes[i] = e.prefixes[i][:n+1]
+		e.snapT[i] = e.snapT[i][:n]
+		e.snapSuf[i] = e.snapSuf[i][:n+1]
+		e.snapSuf[i][n] = 0
 	}
 	e.rebuild(0)
-	return e
+	e.snapFrom = n // stale between sweeps: force the snapshot pass to run full
+	e.resnap(0, n)
 }
 
 // rebuild refreshes the prefix caches from position `from` onward.
@@ -104,7 +199,7 @@ func (e *objEval) rebuild(from int) {
 	for i, loads := range e.loadSets {
 		for pos := from; pos < n; pos++ {
 			st := e.prefixes[i][pos]
-			e.s.evalStep(&st, pos, loads[pos])
+			e.step(&st, pos, loads[pos])
 			e.prefixes[i][pos+1] = st
 		}
 	}
@@ -114,7 +209,7 @@ func (e *objEval) rebuild(from int) {
 func (e *objEval) advance(pos int) {
 	for i, loads := range e.loadSets {
 		st := e.prefixes[i][pos]
-		e.s.evalStep(&st, pos, loads[pos])
+		e.step(&st, pos, loads[pos])
 		e.prefixes[i][pos+1] = st
 	}
 }
@@ -126,11 +221,111 @@ func (e *objEval) copyPrefix(pos int) {
 	}
 }
 
+// invalidate records a committed change at pos without refreshing the memo:
+// snapshot entries at or before pos no longer describe the committed suffix.
+func (e *objEval) invalidate(pos int) {
+	if pos+1 > e.snapFrom {
+		e.snapFrom = pos + 1
+	}
+}
+
+// resnap refreshes the suffix memo from position `from` after a commit whose
+// dirty region ends before `stable` (no position >= stable changed). The pass
+// itself uses the memo: it stops as soon as the recursion re-joins a
+// release-bound position whose existing snapshot entry is still consistent.
+// Requires the prefix cache at `from` to be valid for the committed solution.
+func (e *objEval) resnap(from, stable int) {
+	n := len(e.s.Plan.Subs)
+	if stable < e.snapFrom {
+		stable = e.snapFrom
+	}
+	rel := e.rel
+	wc := e.s.WCWork
+	for i, loads := range e.loadSets {
+		st := e.prefixes[i][from]
+		snapT, snapSuf := e.snapT[i], e.snapSuf[i]
+		q := from
+		for ; q < n; q++ {
+			if q >= stable && wc[q] > deadWork && loads[q] > 0 &&
+				st.t <= rel[q] && snapT[q] <= rel[q] {
+				break // suffix entries [q, n] are already consistent
+			}
+			snapT[q] = st.t
+			snapSuf[q] = st.energy // accumulated-prefix energy, fixed up below
+			e.step(&st, q, loads[q])
+		}
+		tail := 0.0
+		if q < n {
+			tail = snapSuf[q]
+		}
+		total := st.energy
+		for p := from; p < q; p++ {
+			snapSuf[p] = total - snapSuf[p] + tail
+		}
+	}
+	e.snapFrom = from
+}
+
 // energyFrom evaluates the mean objective re-running positions [pos, n).
-func (e *objEval) energyFrom(pos int) float64 {
+// stable is the end of the caller's dirty region: no End, WCWork, or load
+// value at a position >= stable differs from the committed solution, so the
+// walk may early-exit into the suffix memo there.
+func (e *objEval) energyFrom(pos, stable int) float64 {
+	if stable < e.snapFrom {
+		stable = e.snapFrom
+	}
+	n := len(e.s.Plan.Subs)
+	rel, wc := e.rel, e.wc
 	var total float64
 	for i, loads := range e.loadSets {
-		total += e.s.evalFrom(e.prefixes[i][pos], pos, loads).energy
+		st := e.prefixes[i][pos]
+		snapT, snapSuf := e.snapT[i], e.snapSuf[i]
+		if e.fastOK {
+			// Specialised walk: this is the solver's innermost loop — every
+			// golden-section probe of every line search lands here.
+			end, ceff := e.end, e.ceff
+			k, vMin, vMax := e.k, e.vMin, e.vMax
+			tcVMin, tcVMax := e.tcVMin, e.tcVMax
+			t, energy := st.t, st.energy
+			for q := pos; q < n; q++ {
+				w, work := wc[q], loads[q]
+				if w <= deadWork || work <= 0 {
+					continue
+				}
+				r := rel[q]
+				if t <= r {
+					if q >= stable && snapT[q] <= r {
+						energy += snapSuf[q]
+						break
+					}
+					t = r
+				}
+				window := end[q] - t
+				var v, tc float64
+				if window <= 0 {
+					v, tc = vMax, tcVMax
+				} else if tc = window / w; tc > tcVMin {
+					v, tc = vMin, tcVMin
+				} else if tc < tcVMax {
+					v, tc = vMax, tcVMax
+				} else {
+					v = k / tc
+				}
+				energy += ceff[q] * v * v * work
+				t += work * tc
+			}
+			total += energy
+			continue
+		}
+		for q := pos; q < n; q++ {
+			if q >= stable && wc[q] > deadWork && loads[q] > 0 &&
+				st.t <= rel[q] && snapT[q] <= rel[q] {
+				st.energy += snapSuf[q]
+				break
+			}
+			e.step(&st, q, loads[q])
+		}
+		total += st.energy
 	}
 	return total / float64(len(e.loadSets))
 }

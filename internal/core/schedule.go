@@ -76,7 +76,32 @@ type Schedule struct {
 	// energy under greedy reclamation for ACS, worst-case energy for WCS.
 	Energy float64
 	// Sweeps is the number of coordinate-descent sweeps the solver used.
+	// Under multi-start (Config.Starts > 1) it aggregates the sweeps of
+	// every start — total optimisation work, not the winner's convergence
+	// length.
 	Sweeps int
+
+	// Specialised evaluation parameters for the SimpleInverse power model
+	// (the model every paper experiment runs on): evalStep is the solver's
+	// innermost function, and devirtualising the two Model calls per step is
+	// worth ~2x there. Populated by initFastModel; zero-valued schedules
+	// fall back to the generic Model interface.
+	fastOK                    bool
+	fastK, fastVMin, fastVMax float64
+	fastTcVMin, fastTcVMax    float64
+}
+
+// initFastModel caches the SimpleInverse parameters when the schedule's
+// model is one, enabling the allocation- and interface-free evalStep path.
+// The fast path computes the same quantities as the interface path with one
+// division per step instead of three; results agree to within a few ulps
+// (well inside every tolerance the solver and its verifier use).
+func (s *Schedule) initFastModel() {
+	if m, ok := s.Model.(*power.SimpleInverse); ok {
+		s.fastOK = true
+		s.fastK, s.fastVMin, s.fastVMax = m.K, m.Vmin, m.Vmax
+		s.fastTcVMin, s.fastTcVMax = m.K/m.Vmin, m.K/m.Vmax
+	}
 }
 
 // deriveAvgWork fills avg[pos] for every sub-instance position of the plan
@@ -114,13 +139,31 @@ func (s *Schedule) evalStep(st *evalState, pos int, work float64) {
 	if su.Release > a {
 		a = su.Release
 	}
-	if s.WCWork[pos] <= 0 {
-		return // empty reservation: no time, no energy
+	if s.WCWork[pos] <= deadWork || work <= 0 {
+		return // empty reservation or no actual work: no time, no energy
 	}
-	v, _ := power.VoltageForWindow(s.Model, s.WCWork[pos], s.End[pos]-a)
-	if work <= 0 {
+	var v float64
+	if s.fastOK {
+		// Inlined SimpleInverse VoltageForWindow + CycleTime, reformulated
+		// around the cycle time so the common (unclamped) case needs two
+		// divisions and the clamped cases one.
+		window := s.End[pos] - a
+		var tc float64
+		if window <= 0 {
+			v, tc = s.fastVMax, s.fastTcVMax
+		} else if tc = window / s.WCWork[pos]; tc > s.fastTcVMin {
+			v, tc = s.fastVMin, s.fastTcVMin
+		} else if tc < s.fastTcVMax {
+			v, tc = s.fastVMax, s.fastTcVMax
+		} else {
+			v = s.fastK / tc
+		}
+		ceff := s.Plan.Set.Tasks[su.TaskIndex].Ceff
+		st.energy += ceff * v * v * work
+		st.t = a + work*tc
 		return
 	}
+	v, _ = power.VoltageForWindow(s.Model, s.WCWork[pos], s.End[pos]-a)
 	ceff := s.Plan.Set.Tasks[su.TaskIndex].Ceff
 	st.energy += power.Energy(ceff, v, work)
 	st.t = a + work*s.Model.CycleTime(v)

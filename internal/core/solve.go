@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/opt"
 	"repro/internal/power"
@@ -17,7 +16,7 @@ type Config struct {
 	Model power.Model
 	// Objective selects ACS (AverageCase) or WCS (WorstCase).
 	Objective Objective
-	// MaxSweeps bounds coordinate-descent sweeps (default 60).
+	// MaxSweeps bounds coordinate-descent sweeps (default 100).
 	MaxSweeps int
 	// Tol is the relative objective-improvement convergence threshold per
 	// sweep (default 1e-6).
@@ -52,6 +51,18 @@ type Config struct {
 	// ScenarioSeed seeds the scenario draws (common random numbers across
 	// all solver iterations, so the objective is a fixed function).
 	ScenarioSeed uint64
+	// Starts, when greater than 1, runs that many independent solver starts
+	// and keeps the best result: start 0 uses InitBlend (and WarmStart, when
+	// set); every further start draws its blend from a deterministic RNG
+	// stream derived from StartSeed. Results are bit-identical for a given
+	// (Starts, StartSeed) regardless of StartWorkers.
+	Starts int
+	// StartWorkers bounds the worker pool the multi-start driver fans starts
+	// across (default min(Starts, GOMAXPROCS)). It affects wall-clock time
+	// only, never the result.
+	StartWorkers int
+	// StartSeed seeds the per-start blend jitter streams (default 2005).
+	StartSeed uint64
 }
 
 func (c *Config) withDefaults() Config {
@@ -70,6 +81,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.LineTolMs <= 0 {
 		out.LineTolMs = 1e-4
+	}
+	if out.StartSeed == 0 {
+		out.StartSeed = 2005
 	}
 	// Both objectives optimise splits by default: the paper's WCS baseline
 	// is the worst-case-*optimal* static schedule, which fixes how WCEC
@@ -92,12 +106,26 @@ func Build(set *task.Set, cfg Config) (*Schedule, error) {
 }
 
 // Solve computes the static schedule over an existing fully-preemptive plan.
+// With Config.Starts > 1 it dispatches to the parallel multi-start driver.
 func Solve(plan *preempt.Schedule, cfg Config) (*Schedule, error) {
 	c := cfg.withDefaults()
+	if c.Starts > 1 {
+		return solveMultiStart(plan, c)
+	}
+	s, _, err := solveSingle(plan, c)
+	return s, err
+}
+
+// solveSingle runs one coordinate-descent solve from c's starting point.
+// c must already carry defaults. It returns the schedule together with the
+// optimised objective value (the scenario mean when Config.Scenarios is
+// active), which the multi-start driver compares across starts.
+func solveSingle(plan *preempt.Schedule, c Config) (*Schedule, float64, error) {
 	n := len(plan.Subs)
 	if n == 0 {
-		return nil, fmt.Errorf("core: plan has no sub-instances")
+		return nil, 0, fmt.Errorf("core: plan has no sub-instances")
 	}
+	ws := newWorkspace(plan)
 	s := &Schedule{
 		Plan:      plan,
 		Model:     c.Model,
@@ -106,35 +134,38 @@ func Solve(plan *preempt.Schedule, cfg Config) (*Schedule, error) {
 		AvgWork:   make([]float64, n),
 		Objective: c.Objective,
 	}
+	s.initFastModel()
 
-	if err := s.initialize(c); err != nil {
-		return nil, err
+	if err := s.initialize(c, ws); err != nil {
+		return nil, 0, err
 	}
-	obj := s.optimize(c)
+	obj := s.optimize(c, ws)
 	s.Energy = s.ObjectiveEnergy()
 
-	if ws := c.WarmStart; ws != nil && len(ws.End) == n && ws.Plan.Set == plan.Set {
+	if warm := c.WarmStart; warm != nil && len(warm.End) == n && warm.Plan.Set == plan.Set {
 		alt := &Schedule{
 			Plan:      plan,
 			Model:     c.Model,
-			End:       append([]float64(nil), ws.End...),
-			WCWork:    append([]float64(nil), ws.WCWork...),
+			End:       append([]float64(nil), warm.End...),
+			WCWork:    append([]float64(nil), warm.WCWork...),
 			AvgWork:   make([]float64, n),
 			Objective: c.Objective,
 		}
+		alt.initFastModel()
 		deriveAvgWork(plan, alt.WCWork, alt.AvgWork)
-		altObj := alt.optimize(c)
+		altObj := alt.optimize(c, ws)
 		alt.Energy = alt.ObjectiveEnergy()
 		if altObj < obj && alt.Verify(1e-6*math.Max(1, plan.Hyperperiod)) == nil {
 			alt.Sweeps += s.Sweeps
 			s = alt
+			obj = altObj
 		}
 	}
 
 	if err := s.Verify(1e-6 * math.Max(1, plan.Hyperperiod)); err != nil {
-		return nil, fmt.Errorf("core: solver produced an invalid schedule: %w", err)
+		return nil, 0, fmt.Errorf("core: solver produced an invalid schedule: %w", err)
 	}
-	return s, nil
+	return s, obj, nil
 }
 
 // Feasible reports whether the task set admits any schedule at all on the
@@ -155,14 +186,16 @@ func Feasible(set *task.Set, cfg Config) error {
 		WCWork:  make([]float64, n),
 		AvgWork: make([]float64, n),
 	}
+	s.initFastModel()
+	ends := make([]float64, n)
 	s.proportionalSplits()
-	if _, err := s.asapEnds(); err == nil {
+	if _, err := s.asapEnds(ends); err == nil {
 		return nil
 	}
 	if err := s.rmVmaxSplits(); err != nil {
 		return err
 	}
-	_, err = s.asapEnds()
+	_, err = s.asapEnds(ends)
 	return err
 }
 
@@ -196,20 +229,20 @@ func (s *Schedule) proportionalSplits() {
 // saturates some segments entirely. The RM splits are feasible whenever the
 // task set is schedulable at Vmax at all, so initialise fails only for
 // genuinely unschedulable sets.
-func (s *Schedule) initialize(c Config) error {
+func (s *Schedule) initialize(c Config, ws *workspace) error {
 	plan := s.Plan
 	s.proportionalSplits()
-	eMin, err := s.asapEnds()
+	eMin, err := s.asapEnds(ws.eMin)
 	if err != nil {
 		if rmErr := s.rmVmaxSplits(); rmErr != nil {
 			return rmErr
 		}
-		if eMin, err = s.asapEnds(); err != nil {
+		if eMin, err = s.asapEnds(ws.eMin); err != nil {
 			return err
 		}
 	}
 	deriveAvgWork(plan, s.WCWork, s.AvgWork)
-	eMax := s.alapEnds()
+	eMax := s.alapEnds(ws.eMax)
 	for pos := range s.End {
 		if s.WCWork[pos] <= deadWork {
 			continue // placed by the repair pass below
@@ -244,12 +277,12 @@ func (s *Schedule) initialize(c Config) error {
 }
 
 // asapEnds returns the earliest feasible end-times: the all-Vmax greedy
-// chain over work-bearing pieces. An error means the task set is
-// unschedulable even at full speed. Dead pieces report their chain position
-// (start time) and are exempt from deadline checks.
-func (s *Schedule) asapEnds() ([]float64, error) {
+// chain over work-bearing pieces, written into dst (length n). An error
+// means the task set is unschedulable even at full speed. Dead pieces report
+// their chain position (start time) and are exempt from deadline checks.
+func (s *Schedule) asapEnds(dst []float64) ([]float64, error) {
 	tcMax := s.Model.CycleTime(s.Model.VMax())
-	ends := make([]float64, len(s.Plan.Subs))
+	ends := dst
 	t := 0.0
 	for pos, su := range s.Plan.Subs {
 		if s.WCWork[pos] <= deadWork {
@@ -267,14 +300,15 @@ func (s *Schedule) asapEnds() ([]float64, error) {
 	return ends, nil
 }
 
-// alapEnds returns the latest feasible end-times: a backward pass pushing
-// every work-bearing end to its deadline, pulled earlier only as far as the
-// worst-case chains of *work-bearing* successors require. Dead pieces are
-// transparent to the chain and inherit the cap for bookkeeping.
-func (s *Schedule) alapEnds() []float64 {
+// alapEnds returns the latest feasible end-times, written into dst (length
+// n): a backward pass pushing every work-bearing end to its deadline, pulled
+// earlier only as far as the worst-case chains of *work-bearing* successors
+// require. Dead pieces are transparent to the chain and inherit the cap for
+// bookkeeping.
+func (s *Schedule) alapEnds(dst []float64) []float64 {
 	tcMax := s.Model.CycleTime(s.Model.VMax())
 	n := len(s.Plan.Subs)
-	ends := make([]float64, n)
+	ends := dst
 	// capNext is the latest time the previous work-bearing piece may end
 	// without starving the chain suffix.
 	capNext := math.Inf(1)
@@ -297,12 +331,13 @@ func (s *Schedule) alapEnds() []float64 {
 // workload splits until the objective stops improving, returning the final
 // objective value (the scenario mean when Config.Scenarios is active,
 // otherwise the point objective).
-func (s *Schedule) optimize(c Config) float64 {
+func (s *Schedule) optimize(c Config, ws *workspace) float64 {
 	var sc *scenarioSet
 	if c.Scenarios > 0 && s.Objective == AverageCase {
 		sc = s.buildScenarios(c.Scenarios, c.ScenarioSeed|1)
 	}
-	prevObj := newObjEval(s, sc).full()
+	ws.ev.reset(s, sc)
+	prevObj := ws.ev.full()
 	obj := prevObj
 	for sweep := 0; sweep < c.MaxSweeps; sweep++ {
 		// Alternate sweep directions: a forward pass tightens each end
@@ -310,12 +345,12 @@ func (s *Schedule) optimize(c Config) float64 {
 		// chains (every end at its chain cap) nothing can move until the
 		// caps are released from the back — which is exactly what the
 		// backward pass does.
-		s.sweepEnds(c, sc, sweep%2 == 1)
+		s.sweepEnds(c, sc, ws, sweep%2 == 1)
 		if c.OptimizeSplits {
-			s.sweepSplits(c, sc)
+			s.sweepSplits(c, sc, ws)
 		}
-		s.sweepPush(c, sc)
-		obj = newObjEval(s, sc).full()
+		s.sweepPush(c, sc, ws)
+		obj = ws.ev.full()
 		s.Sweeps = sweep + 1
 		if prevObj-obj <= c.Tol*math.Max(prevObj, 1e-12) && sweep >= 2 {
 			break
@@ -327,29 +362,33 @@ func (s *Schedule) optimize(c Config) float64 {
 
 // sweepEnds optimises each end-time in turn by golden-section search over
 // its feasible interval, caching the recursion prefixes (one per load
-// vector) so coordinate pos only re-evaluates the order suffix [pos, n).
-// With backward set, positions are visited last-to-first; the prefix caches
-// stay valid throughout because they depend only on coordinates before pos,
-// which a backward pass never touches after computing them.
-func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
+// vector) so coordinate pos only re-evaluates the order suffix [pos, n) —
+// and, via the suffix memo, usually far less: the walk stops at the first
+// release-bound piece past pos. With backward set, positions are visited
+// last-to-first; the prefix caches stay valid throughout because they depend
+// only on coordinates before pos, which a backward pass never touches after
+// computing them, while the suffix memo is refreshed behind each commit.
+func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, ws *workspace, backward bool) {
 	plan := s.Plan
 	n := len(plan.Subs)
 	tcMax := s.Model.CycleTime(s.Model.VMax())
-	ev := newObjEval(s, sc)
+	ev := &ws.ev
+	ev.reset(s, sc)
 
 	// prevAlive[pos] is the end of the last work-bearing piece before pos;
 	// nextCap[pos] is the latest end the chain suffix after pos allows.
 	// Dead pieces are transparent on both sides. During a forward sweep the
 	// prefix side is maintained incrementally (suffix side is static, since
 	// later coordinates do not move); a backward sweep mirrors that.
-	prevAlive := make([]float64, n+1)
+	prevAlive := ws.prevAlive
+	prevAlive[0] = 0
 	for pos := 0; pos < n; pos++ {
 		prevAlive[pos+1] = prevAlive[pos]
 		if s.WCWork[pos] > deadWork {
 			prevAlive[pos+1] = s.End[pos]
 		}
 	}
-	nextCap := make([]float64, n+1)
+	nextCap := ws.nextCap
 	nextCap[n] = math.Inf(1)
 	for pos := n - 1; pos >= 0; pos-- {
 		if s.WCWork[pos] > deadWork {
@@ -359,19 +398,16 @@ func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
 		}
 	}
 
-	order := make([]int, n)
-	for i := range order {
+	for k := 0; k < n; k++ {
+		pos := k
 		if backward {
-			order[i] = n - 1 - i
-		} else {
-			order[i] = i
+			pos = n - 1 - k
 		}
-	}
-
-	for _, pos := range order {
 		su := &plan.Subs[pos]
 		if s.WCWork[pos] <= deadWork {
 			// Dead piece: keep a consistent bookkeeping end on the chain.
+			// Its end never enters the objective (evalStep skips pieces at
+			// or below deadWork), so no memo invalidation is needed.
 			s.End[pos] = math.Max(prevAlive[pos], su.Release)
 			if !backward {
 				prevAlive[pos+1] = prevAlive[pos]
@@ -387,12 +423,15 @@ func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
 			orig := s.End[pos]
 			eval := func(e float64) float64 {
 				s.End[pos] = e
-				return ev.energyFrom(pos)
+				return ev.energyFrom(pos, pos+1)
 			}
-			best, _ := opt.GoldenMin(eval, lo, hi, c.LineTolMs, 200)
+			origF := eval(orig)
+			best, bestF := opt.GoldenMin(eval, lo, hi, c.LineTolMs, 200)
 			// Keep the original if the search found no strict improvement
-			// (GoldenMin may return an endpoint with equal value).
-			if eval(best) < eval(orig)-1e-15 {
+			// (GoldenMin may return an endpoint with equal value). The
+			// objective is a pure function of the end-time, so the values
+			// probed above stand in for re-evaluating.
+			if bestF < origF-1e-15 {
 				s.End[pos] = best
 			} else {
 				s.End[pos] = orig
@@ -403,9 +442,13 @@ func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
 		}
 		if !backward {
 			ev.advance(pos)
+			ev.invalidate(pos)
 			prevAlive[pos+1] = s.End[pos]
 		} else {
 			nextCap[pos] = math.Max(su.Release, s.End[pos]-s.WCWork[pos]*tcMax)
+			// Refresh the memo behind the commit: the next (earlier)
+			// position's line search exits into entries at [pos, n].
+			ev.resnap(pos, pos+1)
 		}
 	}
 }
@@ -416,13 +459,15 @@ func (s *Schedule) sweepEnds(c Config, sc *scenarioSet, backward bool) {
 // non-negativity and each position's worst-case chain slack. Average
 // workloads are re-derived after every accepted move, so the objective sees
 // the case-1/case-2 redistribution immediately. Pairs are visited in total
-// order of their earlier position so a prefix cache of the recursion can be
-// advanced monotonically; a pair's evaluation then only re-runs the order
-// suffix starting at that position.
-func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
+// order of their earlier position (precomputed in the workspace) so a prefix
+// cache of the recursion can be advanced monotonically; a pair's evaluation
+// then only re-runs the order suffix starting at that position, up to the
+// first release-bound piece past the instance's last position.
+func (s *Schedule) sweepSplits(c Config, sc *scenarioSet, ws *workspace) {
 	plan := s.Plan
 	tcMax := s.Model.CycleTime(s.Model.VMax())
-	ev := newObjEval(s, sc)
+	ev := &ws.ev
+	ev.reset(s, sc)
 
 	// chainSlack is how many extra worst-case cycles piece pos could absorb
 	// at Vmax within its current window. The window runs from the later of
@@ -442,18 +487,6 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
 		return window/tcMax - s.WCWork[pos]
 	}
 
-	// Collect transfer pairs sorted by earlier position (total order
-	// already sorts each instance's positions ascending, and we emit pairs
-	// instance by instance, so a single stable sort by pa suffices).
-	type pair struct{ pa, pb, idx int }
-	var pairs []pair
-	for idx, positions := range plan.ByInstance {
-		for k := 0; k+1 < len(positions); k++ {
-			pairs = append(pairs, pair{positions[k], positions[k+1], idx})
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].pa < pairs[j].pa })
-
 	// The evaluator's prefixes are valid up to front (exclusive); pairs are
 	// processed in ascending pa so the caches only ever advance.
 	front := 0
@@ -471,7 +504,7 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
 		}
 	}
 
-	for _, p := range pairs {
+	for _, p := range ws.pairs {
 		advance(p.pa)
 		// δ > 0 moves workload from the later piece pb to pa.
 		dLo := math.Max(-s.WCWork[p.pa], -chainSlack(p.pb))
@@ -479,16 +512,22 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
 		if dHi-dLo < 1e-9 {
 			continue
 		}
+		// A trial transfer re-derives loads across the whole instance, so
+		// the dirty region of every evaluation ends after the instance's
+		// last position.
+		positions := plan.ByInstance[p.idx]
+		stable := positions[len(positions)-1] + 1
 		wa, wb := s.WCWork[p.pa], s.WCWork[p.pb]
 		eval := func(d float64) float64 {
 			s.WCWork[p.pa] = wa + d
 			s.WCWork[p.pb] = wb - d
 			rederive(p.idx)
-			return ev.energyFrom(p.pa)
+			return ev.energyFrom(p.pa, stable)
 		}
 		base := eval(0)
 		best, bestF := opt.GoldenMin(eval, dLo, dHi, 1e-6*(dHi-dLo)+1e-12, 200)
-		if bestF < base-1e-15 {
+		changed := bestF < base-1e-15
+		if changed {
 			s.WCWork[p.pa] = wa + best
 			s.WCWork[p.pb] = wb - best
 		} else {
@@ -496,6 +535,12 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
 			s.WCWork[p.pb] = wb
 		}
 		rederive(p.idx)
+		if changed {
+			// Refresh the memo behind the committed transfer so later pairs
+			// (whose dirty regions may end before this instance's last
+			// position) can still exit into consistent entries.
+			ev.resnap(p.pa, stable)
+		}
 	}
 }
 
@@ -506,13 +551,14 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet) {
 // direction: it moves one end anywhere up to its own deadline and ripples
 // every downstream end forward by the minimum the worst-case chain requires,
 // rejecting the move if any ripple would cross a deadline.
-func (s *Schedule) sweepPush(c Config, sc *scenarioSet) {
+func (s *Schedule) sweepPush(c Config, sc *scenarioSet, ws *workspace) {
 	plan := s.Plan
 	n := len(plan.Subs)
 	tcMax := s.Model.CycleTime(s.Model.VMax())
-	ev := newObjEval(s, sc)
+	ev := &ws.ev
+	ev.reset(s, sc)
 
-	saved := make([]float64, n)
+	saved := ws.saved
 	prevAlive := 0.0
 	for pos := 0; pos < n; pos++ {
 		su := &plan.Subs[pos]
@@ -525,9 +571,13 @@ func (s *Schedule) sweepPush(c Config, sc *scenarioSet) {
 		hi := su.Deadline
 		if hi > lo+c.LineTolMs {
 			copy(saved[pos:], s.End[pos:])
+			// lastMod tracks the end of the most recent trial's ripple — the
+			// dirty region the suffix memo must not be consulted inside.
+			lastMod := pos
 			eval := func(e float64) float64 {
 				copy(s.End[pos:], saved[pos:])
 				s.End[pos] = e
+				lastMod = pos
 				prev := e
 				for q := pos + 1; q < n; q++ {
 					if s.WCWork[q] <= deadWork {
@@ -539,22 +589,29 @@ func (s *Schedule) sweepPush(c Config, sc *scenarioSet) {
 							return math.Inf(1) // ripple crosses a deadline
 						}
 						s.End[q] = loQ
+						lastMod = q
 					}
 					prev = s.End[q]
 				}
-				return ev.energyFrom(pos)
+				return ev.energyFrom(pos, lastMod+1)
 			}
 			base := eval(saved[pos])
 			best, bestF := opt.GoldenMin(eval, lo, hi, c.LineTolMs, 200)
 			if bestF < base-1e-15 && !math.IsInf(bestF, 1) {
 				if math.IsInf(eval(best), 1) { // re-apply; defensive
 					copy(s.End[pos:], saved[pos:])
+				} else {
+					// The accepted move rippled ends through lastMod: refresh
+					// the memo over the whole dirty region so later positions
+					// in this sweep exit into consistent entries.
+					ev.resnap(pos, lastMod+1)
 				}
 			} else {
 				copy(s.End[pos:], saved[pos:])
 			}
 		}
 		ev.advance(pos)
+		ev.invalidate(pos)
 		prevAlive = s.End[pos]
 	}
 }

@@ -45,11 +45,11 @@ func TestAsapAlapOrdering(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := newScratch(t, set)
-		asap, err := s.asapEnds()
+		asap, err := s.asapEnds(make([]float64, len(s.Plan.Subs)))
 		if err != nil {
 			continue // proportional splits can be chain-infeasible; fine
 		}
-		alap := s.alapEnds()
+		alap := s.alapEnds(make([]float64, len(s.Plan.Subs)))
 		for pos := range asap {
 			if s.WCWork[pos] <= deadWork {
 				continue
@@ -166,18 +166,26 @@ func TestObjEvalPrefixConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	n := len(s.Plan.Subs)
 	for _, sc := range []*scenarioSet{nil, s.buildScenarios(3, 5)} {
-		ev := newObjEval(s, sc)
-		if a, b := ev.energyFrom(0), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
+		var ev objEval
+		ev.reset(s, sc)
+		if a, b := ev.energyFrom(0, n), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
 			t.Errorf("energyFrom(0)=%g != full()=%g", a, b)
 		}
 		// Mid-order evaluation after advancing must also agree.
-		mid := len(s.Plan.Subs) / 2
+		mid := n / 2
 		for pos := 0; pos < mid; pos++ {
 			ev.advance(pos)
 		}
-		if a, b := ev.energyFrom(mid), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
+		if a, b := ev.energyFrom(mid, n), ev.full(); math.Abs(a-b) > 1e-9*(1+b) {
 			t.Errorf("energyFrom(mid)=%g != full()=%g", a, b)
+		}
+		// The suffix memo must not change values beyond float re-association:
+		// with a stable suffix from mid on, the memoised walk must agree with
+		// the full re-evaluation to near machine precision.
+		if a, b := ev.energyFrom(mid, mid), ev.energyFrom(mid, n); math.Abs(a-b) > 1e-12*(1+b) {
+			t.Errorf("memoised energyFrom(mid)=%g != plain %g", a, b)
 		}
 	}
 }

@@ -34,6 +34,11 @@ type Common struct {
 	Utilization float64
 	// Workers bounds parallel task-set evaluations (default GOMAXPROCS).
 	Workers int
+	// Starts is the solver multi-start count per schedule build (0 or 1 =
+	// single start). Starts run sequentially inside each task-set worker —
+	// the sweep is already saturated by per-set parallelism — and results
+	// stay bit-reproducible for a fixed seed regardless of Workers.
+	Starts int
 	// Model overrides the processor model (default power.DefaultModel()).
 	Model power.Model
 }
@@ -78,6 +83,8 @@ func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct
 	wcsCfg := pre
 	wcsCfg.Model = c.Model
 	wcsCfg.Objective = core.WorstCase
+	wcsCfg.Starts = c.Starts
+	wcsCfg.StartWorkers = 1 // the set-level pool already saturates the host
 	wcs, err := core.Build(set, wcsCfg)
 	if err != nil {
 		return 0, 0, fmt.Errorf("WCS: %w", err)
@@ -90,6 +97,8 @@ func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct
 	acsCfg.Model = c.Model
 	acsCfg.Objective = core.AverageCase
 	acsCfg.WarmStart = wcs
+	acsCfg.Starts = c.Starts
+	acsCfg.StartWorkers = 1
 	acs, err := core.Build(set, acsCfg)
 	if err != nil {
 		return 0, 0, fmt.Errorf("ACS: %w", err)

@@ -14,8 +14,8 @@
 // This package is the public facade: it re-exports the task model, the
 // processor models, the ACS/WCS offline solvers and the runtime simulator
 // from the internal packages, wired together the way the examples and
-// benchmarks use them. See DESIGN.md for the architecture and EXPERIMENTS.md
-// for the paper-vs-measured record.
+// benchmarks use them. See DESIGN.md for the architecture and DESIGN.md §4
+// for the experiment index mapping paper artefacts to harnesses.
 //
 // Quickstart:
 //
