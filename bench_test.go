@@ -8,6 +8,7 @@ package repro
 // harnesses at full budget.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -201,6 +202,36 @@ func BenchmarkSimulateHyperperiods(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(s, sim.Config{Hyperperiods: 100, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimGreedy measures the compiled online engine end to end: compile
+// once, then simulate a large hyper-period batch at Workers = NumCPU. The
+// allocs/op figure is the whole-run constant (seed table, result table, one
+// workspace per worker); it does not grow with Hyperperiods because the
+// per-hyper-period loop allocates nothing.
+func BenchmarkSimGreedy(b *testing.B) {
+	rng := stats.NewRNG(2)
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+		N: 6, Ratio: 0.1, Utilization: 0.7,
+	}, 50, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Build(set, core.Config{Objective: core.AverageCase})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sim.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(sim.Config{Hyperperiods: 2000, Seed: uint64(i), Workers: runtime.NumCPU()}); err != nil {
 			b.Fatal(err)
 		}
 	}

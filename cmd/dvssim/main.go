@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
@@ -46,6 +47,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		dist    = fs.String("dist", "paper", "workload distribution: paper, uniform, bimodal, acec, wcec")
 		subCap  = fs.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
 		starts  = fs.Int("starts", 1, "solver multi-start count (>1 runs parallel starts)")
+		simWork = fs.Int("simworkers", 0, "parallel hyper-period simulation workers (0 = GOMAXPROCS; results are identical for any value)")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -81,7 +83,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("ACS: %w", err)
 	}
 
-	cfg := sim.Config{Policy: pol, Hyperperiods: *reps, Seed: *seed, Dist: d}
+	workers := *simWork
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := sim.Config{Policy: pol, Hyperperiods: *reps, Seed: *seed, Dist: d, Workers: workers}
 	imp, ra, rb, err := sim.Compare(acs, wcs, cfg)
 	if err != nil {
 		return err

@@ -30,11 +30,12 @@ func main() {
 		seed    = flag.Uint64("seed", 2005, "master seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		starts  = flag.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
+		simWork = flag.Int("simworkers", 0, "parallel hyper-period simulation workers per sim run (0 = GOMAXPROCS; results identical for any value)")
 		csvDir  = flag.String("csv", "", "directory to write CSV results into")
 	)
 	flag.Parse()
 
-	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers, Starts: *starts}
+	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers, Starts: *starts, SimWorkers: *simWork}
 	want := func(name string) bool { return *only == "all" || *only == name }
 	wroteAny := false
 

@@ -215,11 +215,16 @@ func (s *Schedule) EnergyUnder(actual []float64) (energy, worstOvershoot float64
 	return st.energy, worstOvershoot, nil
 }
 
-// deadWork is the workload threshold below which a sub-instance counts as an
+// DeadWork is the workload threshold below which a sub-instance counts as an
 // empty reservation: the worst case provably never executes it, so the
 // deadline and chaining constraints are vacuous for it (see the package
-// comment on the zero-budget relaxation).
-const deadWork = 1e-9
+// comment on the zero-budget relaxation). The online compiler (internal/sim)
+// shares this threshold so solver and simulator agree about which pieces are
+// dead.
+const DeadWork = 1e-9
+
+// deadWork is the internal alias the solver's hot paths use.
+const deadWork = DeadWork
 
 // Verify checks every constraint of the reduced NLP at the stored solution:
 // deadline bounds (7), worst-case chaining at Vmax (9), non-negative splits

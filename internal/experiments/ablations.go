@@ -58,18 +58,28 @@ func SlackPolicyAblation(c Common, n int, ratio float64) ([]SlackCell, error) {
 		}
 		simSeed := rng.Uint64()
 
+		// Compile each schedule once; the six policy runs reuse the plans.
+		acsPlan, err := sim.Compile(acs)
+		if err != nil {
+			return nil, err
+		}
+		wcsPlan, err := sim.Compile(wcs)
+		if err != nil {
+			return nil, err
+		}
+
 		// NoDVS energy is policy-invariant across schedules up to workload
 		// draws; use the WCS schedule's run as the normaliser.
-		base, err := sim.Run(wcs, sim.Config{Policy: sim.NoDVS, Hyperperiods: cc.Reps, Seed: simSeed})
+		base, err := wcsPlan.Run(sim.Config{Policy: sim.NoDVS, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
 		if err != nil {
 			return nil, err
 		}
 		for ci := range cells {
-			s := acs
+			p := acsPlan
 			if cells[ci].Schedule == "WCS" {
-				s = wcs
+				p = wcsPlan
 			}
-			r, err := sim.Run(s, sim.Config{Policy: cells[ci].Policy, Hyperperiods: cc.Reps, Seed: simSeed})
+			r, err := p.Run(sim.Config{Policy: cells[ci].Policy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
 			if err != nil {
 				return nil, err
 			}
@@ -199,11 +209,20 @@ func TransitionOverheadAblation(c Common, n int, ratio float64, overheads []sim.
 		if err != nil {
 			return nil, err
 		}
+		acsPlan, err := sim.Compile(acs)
+		if err != nil {
+			return nil, err
+		}
+		wcsPlan, err := sim.Compile(wcs)
+		if err != nil {
+			return nil, err
+		}
 		simSeed := rng.Uint64()
 		runs++
 		for oi, ov := range overheads {
-			imp, ra, rb, err := sim.Compare(acs, wcs, sim.Config{
+			imp, ra, rb, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
 				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Overhead: ov,
+				Workers: cc.SimWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -285,6 +304,8 @@ func DiscreteLevelAblation(c Common, n int, ratio float64, levelCounts []int) ([
 					return nil, err
 				}
 				// Swap the runtime model; static End/WCWork stay as solved.
+				// Each level needs its own compile (the plan bakes in the
+				// model's voltages), so compare the schedules directly.
 				a2 := core.CloneSchedule(acs)
 				a2.Model = dm
 				b2 := core.CloneSchedule(wcs)
@@ -293,6 +314,7 @@ func DiscreteLevelAblation(c Common, n int, ratio float64, levelCounts []int) ([
 			}
 			imp, _, _, err := sim.Compare(runA, runB, sim.Config{
 				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed,
+				Workers: cc.SimWorkers,
 			})
 			if err != nil {
 				return nil, err

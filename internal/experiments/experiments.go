@@ -34,6 +34,11 @@ type Common struct {
 	Utilization float64
 	// Workers bounds parallel task-set evaluations (default GOMAXPROCS).
 	Workers int
+	// SimWorkers bounds parallel hyper-period simulation inside each sim
+	// run (default GOMAXPROCS; results are bit-identical for any value).
+	// Harnesses that already saturate the host with per-set parallelism
+	// (Fig. 6(a)) override it to 1 for their inner runs.
+	SimWorkers int
 	// Starts is the solver multi-start count per schedule build (0 or 1 =
 	// single start). Starts run sequentially inside each task-set worker —
 	// the sweep is already saturated by per-set parallelism — and results
@@ -56,6 +61,9 @@ func (c *Common) withDefaults() Common {
 	}
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.SimWorkers <= 0 {
+		out.SimWorkers = runtime.GOMAXPROCS(0)
 	}
 	if out.Model == nil {
 		out.Model = power.DefaultModel()
@@ -107,6 +115,7 @@ func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct
 		Policy:       sim.Greedy,
 		Hyperperiods: c.Reps,
 		Seed:         seed,
+		Workers:      c.SimWorkers,
 	})
 	if err != nil {
 		return 0, 0, err

@@ -32,11 +32,16 @@ func Fig6a(cfg Fig6aConfig) ([]Cell, error) {
 		ratios = []float64{0.1, 0.5, 0.9}
 	}
 
+	// The per-set pool already saturates the host; keep each inner
+	// simulation serial (results are identical either way).
+	cSet := c
+	cSet.SimWorkers = 1
+
 	var cells []Cell
 	for _, n := range counts {
 		for _, ratio := range ratios {
 			cell := Cell{N: n, Ratio: ratio}
-			vals, subs, failures := forEachSet(c.Sets, c.Workers, c.Seed^hash2(n, ratio),
+			vals, subs, failures := forEachSet(c.Sets, c.Workers, c.Seed^stats.SeedFromCell(n, ratio),
 				func(i int, seed uint64) (float64, int, error) {
 					rng := stats.NewRNG(seed)
 					set, err := workload.RandomFeasible(rng, workload.RandomConfig{
@@ -48,7 +53,7 @@ func Fig6a(cfg Fig6aConfig) ([]Cell, error) {
 					if err != nil {
 						return 0, 0, err
 					}
-					return compareOnSet(set, c, rng.Uint64(), core.Config{})
+					return compareOnSet(set, cSet, rng.Uint64(), core.Config{})
 				})
 			cell.Improvement.AddAll(vals)
 			cell.Failures = failures
@@ -126,17 +131,29 @@ func Fig6b(cfg Fig6bConfig) ([]AppCell, error) {
 				return nil, fmt.Errorf("%s ratio %g ACS: %w", app, ratio, err)
 			}
 
+			// Compile both schedules once per cell; the per-seed loop only
+			// re-runs the compiled engine.
+			acsPlan, err := sim.Compile(acs)
+			if err != nil {
+				return nil, err
+			}
+			wcsPlan, err := sim.Compile(wcs)
+			if err != nil {
+				return nil, err
+			}
+
 			cell := AppCell{App: app, Ratio: ratio, Subs: len(acs.Plan.Subs)}
 			seedReps := c.Sets
 			if seedReps > 10 {
 				seedReps = 10
 			}
 			for k := 0; k < seedReps; k++ {
-				seed := stats.NewRNG(c.Seed + uint64(k)*0x9e3779b97f4a7c15 + hash1(app)).Uint64()
-				imp, _, _, err := sim.Compare(acs, wcs, sim.Config{
+				seed := stats.NewRNG(c.Seed + uint64(k)*0x9e3779b97f4a7c15 + stats.SeedFromString(app)).Uint64()
+				imp, _, _, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
 					Policy:       sim.Greedy,
 					Hyperperiods: c.Reps,
 					Seed:         seed,
+					Workers:      c.SimWorkers,
 				})
 				if err != nil {
 					return nil, err
@@ -192,17 +209,4 @@ func meanInts(xs []int) float64 {
 		t += x
 	}
 	return float64(t) / float64(len(xs))
-}
-
-func hash1(s string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-func hash2(n int, r float64) uint64 {
-	return hash1(fmt.Sprintf("%d|%g", n, r))
 }

@@ -54,7 +54,7 @@ func WeightedObjectiveAblation(c Common, n int, ratio float64, scenarioCounts []
 			return nil, err
 		}
 		simSeed := rng.Uint64()
-		base, err := sim.Run(wcs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+		base, err := sim.Run(wcs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +70,7 @@ func WeightedObjectiveAblation(c Common, n int, ratio float64, scenarioCounts []
 			if err != nil {
 				return nil, err
 			}
-			r, err := sim.Run(acs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+			r, err := sim.Run(acs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
 			if err != nil {
 				return nil, err
 			}

@@ -8,14 +8,19 @@
 // plan; preemption points are exactly the higher-priority release times, so
 // the order coincides with preemptive RM in the worst case and the static
 // end-times are a sound contract (see DESIGN.md §2).
+//
+// The runtime is a three-part engine (DESIGN.md §5): Compile flattens a
+// schedule into a CompiledPlan of per-piece arrays with the Static/NoDVS
+// voltages precomputed; a zero-alloc dispatcher with an inlined SimpleInverse
+// fast path replays the plan over one hyper-period; and Config.Workers shards
+// hyper-periods across goroutines with bit-identical results for any worker
+// count.
 package sim
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/core"
-	"repro/internal/power"
 	"repro/internal/stats"
 )
 
@@ -76,6 +81,17 @@ type Config struct {
 	// selects the paper's truncated Normal (mean ACEC, σ = (WCEC−BCEC)/6,
 	// support [BCEC, WCEC]).
 	Dist Distribution
+	// Workers shards hyper-periods across goroutines (<= 0 means serial).
+	// Results are bit-identical for any worker count: every hyper-period
+	// draws from its own RNG stream split from Seed in hyper-period order
+	// before dispatch, and results are folded back in hyper-period order.
+	Workers int
+
+	// reference forces the generic per-piece power.Model path for every
+	// policy, bypassing the compiled precomputations and the SimpleInverse
+	// fast path. Test-only: it is the oracle the compiled dispatcher is
+	// cross-checked against for bit-identity.
+	reference bool
 }
 
 // Distribution draws an actual execution cycle count for one release of a
@@ -126,48 +142,19 @@ type Result struct {
 	MeanVoltage float64
 }
 
-// Run simulates schedule s under cfg and returns aggregate statistics.
+// Run simulates schedule s under cfg and returns aggregate statistics. It
+// compiles s on every call; callers simulating the same schedule repeatedly
+// (seed sweeps, policy ablations) should Compile once and use
+// CompiledPlan.Run.
 func Run(s *core.Schedule, cfg Config) (*Result, error) {
-	if s == nil {
-		return nil, fmt.Errorf("sim: nil schedule")
+	p, err := Compile(s)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Hyperperiods <= 0 {
-		cfg.Hyperperiods = 100
-	}
-	dist := cfg.Dist
-	if dist == nil {
-		dist = PaperDist
-	}
-	rng := stats.NewRNG(cfg.Seed)
-	res := &Result{}
-	actual := make([]float64, len(s.Plan.Instances))
-	var voltWeighted float64
-
-	for h := 0; h < cfg.Hyperperiods; h++ {
-		for idx := range actual {
-			t := &s.Plan.Set.Tasks[s.Plan.Instances[idx].TaskIndex]
-			actual[idx] = dist(rng, t.BCEC, t.ACEC, t.WCEC)
-		}
-		hp, err := runOne(s, cfg, actual)
-		if err != nil {
-			return nil, err
-		}
-		res.Energy += hp.energy
-		res.PerHyperperiod.Add(hp.energy)
-		res.DeadlineMisses += hp.misses
-		if hp.worstOver > res.WorstOvershoot {
-			res.WorstOvershoot = hp.worstOver
-		}
-		res.BusyTime += hp.busy
-		res.Switches += hp.switches
-		voltWeighted += hp.voltTime
-	}
-	if res.BusyTime > 0 {
-		res.MeanVoltage = voltWeighted / res.BusyTime
-	}
-	return res, nil
+	return p.Run(cfg)
 }
 
+// hyperResult is the aggregate of one simulated hyper-period.
 type hyperResult struct {
 	energy    float64
 	misses    int
@@ -177,102 +164,19 @@ type hyperResult struct {
 	voltTime  float64 // ∫ V dt over busy time
 }
 
-// runOne executes one hyper-period. Each instance's actual cycles are
-// consumed across its pieces in total order, each piece bounded by its
-// worst-case budget; the runtime voltage of a piece depends on the policy.
-func runOne(s *core.Schedule, cfg Config, actual []float64) (hyperResult, error) {
-	var out hyperResult
-	remaining := append([]float64(nil), actual...)
-	model := s.Model
-	t := 0.0
-	lastV := math.NaN()
-
-	for pos := range s.Plan.Subs {
-		su := &s.Plan.Subs[pos]
-		if s.WCWork[pos] <= 0 {
-			continue
-		}
-		w := math.Min(remaining[su.InstanceIndex], s.WCWork[pos])
-		remaining[su.InstanceIndex] -= w
-		if w <= 0 {
-			continue
-		}
-		a := math.Max(t, su.Release)
-
-		var v float64
-		switch cfg.Policy {
-		case Greedy:
-			v, _ = power.VoltageForWindow(model, s.WCWork[pos], s.End[pos]-a)
-		case Static:
-			// Voltage from the *static* window: budget over [static start,
-			// end], where the static start is the latest time the worst
-			// case could begin — end minus the worst-case execution span.
-			v, _ = power.VoltageForWindow(model, s.WCWork[pos], staticWindow(s, pos))
-		case NoDVS:
-			v = model.VMax()
-		default:
-			return out, fmt.Errorf("sim: unknown slack policy %v", cfg.Policy)
-		}
-
-		if cfg.Overhead.TimeMs > 0 || cfg.Overhead.EnergyPerSwitch > 0 {
-			if math.IsNaN(lastV) || math.Abs(v-lastV) > cfg.Overhead.Epsilon {
-				out.switches++
-				out.energy += cfg.Overhead.EnergyPerSwitch
-				a += cfg.Overhead.TimeMs
-			}
-		} else if math.IsNaN(lastV) || v != lastV {
-			out.switches++
-		}
-		lastV = v
-
-		dur := w * model.CycleTime(v)
-		end := a + dur
-		ceff := s.Plan.Set.Tasks[su.TaskIndex].Ceff
-		out.energy += power.Energy(ceff, v, w)
-		out.busy += dur
-		out.voltTime += v * dur
-		t = end
-
-		// A piece that finished its share late only matters if the parent
-		// instance has no later budget; conservatively flag any end past
-		// the absolute deadline — correct schedules never trigger it.
-		if end > su.Deadline+1e-9 {
-			out.misses++
-			if over := end - su.Deadline; over > out.worstOver {
-				out.worstOver = over
-			}
-		}
-	}
-	return out, nil
-}
-
-// staticWindow returns the window the static schedule reserved for piece
-// pos: from the latest worst-case start of the previous piece (its end) or
-// the release, to pos's end-time.
-func staticWindow(s *core.Schedule, pos int) float64 {
-	prevEnd := 0.0
-	if pos > 0 {
-		prevEnd = s.End[pos-1]
-	}
-	start := math.Max(prevEnd, s.Plan.Subs[pos].Release)
-	return s.End[pos] - start
-}
-
 // Compare runs two schedules under identical workload draws (same seed and
 // distribution) and returns the percentage energy improvement of a over b:
 // 100·(E_b − E_a)/E_b. This is the quantity Fig. 6 plots with a = ACS and
-// b = WCS.
+// b = WCS. The two schedules are simulated concurrently; see ComparePlans to
+// amortise compilation across repeated comparisons.
 func Compare(a, b *core.Schedule, cfg Config) (improvementPct float64, ra, rb *Result, err error) {
-	ra, err = Run(a, cfg)
+	pa, err := Compile(a)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	rb, err = Run(b, cfg)
+	pb, err := Compile(b)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	if rb.Energy <= 0 {
-		return 0, ra, rb, fmt.Errorf("sim: baseline consumed no energy")
-	}
-	return 100 * (rb.Energy - ra.Energy) / rb.Energy, ra, rb, nil
+	return ComparePlans(pa, pb, cfg)
 }

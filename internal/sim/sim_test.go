@@ -2,10 +2,13 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/preempt"
 	"repro/internal/stats"
 	"repro/internal/task"
 	"repro/internal/workload"
@@ -50,6 +53,176 @@ func TestRunDeterminism(t *testing.T) {
 	}
 	if a.Energy == c.Energy {
 		t.Error("different seeds produced identical energy")
+	}
+}
+
+// TestWorkersDeterminism is the determinism contract of the parallel
+// hyper-period engine: the full Result — energy, per-hyper-period summary,
+// switch counts, everything — is bit-identical for any worker count (same
+// shape as core's multi-start determinism test).
+func TestWorkersDeterminism(t *testing.T) {
+	acs, wcs := buildPair(t, 1, 4, 0.3)
+	cfgs := map[string]Config{
+		"greedy":   {Policy: Greedy, Hyperperiods: 50, Seed: 9},
+		"static":   {Policy: Static, Hyperperiods: 50, Seed: 9},
+		"nodvs":    {Policy: NoDVS, Hyperperiods: 50, Seed: 9},
+		"overhead": {Policy: Greedy, Hyperperiods: 50, Seed: 9, Overhead: Overhead{TimeMs: 0.01, EnergyPerSwitch: 0.5, Epsilon: 0.01}},
+	}
+	for name, cfg := range cfgs {
+		var ref *Result
+		for _, workers := range []int{1, 2, 8} {
+			c := cfg
+			c.Workers = workers
+			r, err := Run(acs, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = r
+			} else if !reflect.DeepEqual(ref, r) {
+				t.Errorf("%s: Workers=%d result differs from Workers=1:\n%+v\nvs\n%+v", name, workers, ref, r)
+			}
+		}
+	}
+	// Compare (concurrent a/b runs) inherits the same contract.
+	var refImp float64
+	for i, workers := range []int{1, 4} {
+		imp, _, _, err := Compare(acs, wcs, Config{Hyperperiods: 40, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refImp = imp
+		} else if imp != refImp {
+			t.Errorf("Compare at Workers=%d gave %g, want %g", workers, imp, refImp)
+		}
+	}
+}
+
+// TestCompiledMatchesReference cross-checks the compiled dispatcher — the
+// SimpleInverse-specialised fast path and the precomputed Static/NoDVS
+// voltages — against the generic per-piece power.Model path, bit for bit, on
+// both model families and under all three slack policies.
+func TestCompiledMatchesReference(t *testing.T) {
+	alpha, err := power.NewAlpha(1.0, 0.4, 1.5, 0.7, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]power.Model{
+		"simpleinverse": power.DefaultModel(),
+		"alpha":         alpha,
+	}
+	for mName, m := range models {
+		rng := stats.NewRNG(31)
+		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+			N: 4, Ratio: 0.3, Utilization: 0.7, Model: m,
+		}, 50, func(s *task.Set) bool { return core.Feasible(s, core.Config{Model: m}) == nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pol := range []SlackPolicy{Greedy, Static, NoDVS} {
+			for _, ov := range []Overhead{{}, {TimeMs: 0.01, EnergyPerSwitch: 0.5, Epsilon: 0.01}} {
+				cfg := Config{Policy: pol, Hyperperiods: 30, Seed: 17, Overhead: ov, Workers: 4}
+				compiled, err := Run(s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.reference = true
+				cfg.Workers = 1
+				generic, err := Run(s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(compiled, generic) {
+					t.Errorf("%s/%v (overhead=%v): compiled path diverges from generic path:\n%+v\nvs\n%+v",
+						mName, pol, ov.TimeMs > 0, compiled, generic)
+				}
+			}
+		}
+	}
+}
+
+// TestSwitchesFirstPieceFree pins the voltage-transition fix: establishing
+// the initial operating point is not a switch, so a single-piece schedule
+// never switches and is never charged transition overhead, no matter how
+// many hyper-periods run.
+func TestSwitchesFirstPieceFree(t *testing.T) {
+	set, err := task.NewSet([]task.Task{
+		{Name: "solo", Period: 10, WCEC: 8, ACEC: 5, BCEC: 2, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Build(set, core.Config{Objective: core.AverageCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := Compile(s); p.Pieces() != 1 {
+		t.Fatalf("single-task schedule compiled to %d pieces, want 1", p.Pieces())
+	}
+	base, err := Run(s, Config{Hyperperiods: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Switches != 0 {
+		t.Errorf("single-piece schedule counted %d switches, want 0", base.Switches)
+	}
+	withOv, err := Run(s, Config{Hyperperiods: 20, Seed: 4,
+		Overhead: Overhead{TimeMs: 0.5, EnergyPerSwitch: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withOv.Switches != 0 {
+		t.Errorf("single-piece schedule charged %d switches under overhead, want 0", withOv.Switches)
+	}
+	if withOv.Energy != base.Energy {
+		t.Errorf("overhead charged on the initial voltage: %g vs %g", withOv.Energy, base.Energy)
+	}
+}
+
+// TestStaticWindowSkipsReservations pins the DESIGN.md §2 window rule: the
+// static window of a piece starts at the end of its last *work-bearing*
+// predecessor; pure reservations (zero worst-case budget) do not delimit it,
+// even when their unconstrained end-times land late.
+func TestStaticWindowSkipsReservations(t *testing.T) {
+	set, err := task.NewSet([]task.Task{
+		{Name: "hi", Period: 10, WCEC: 2, ACEC: 1, BCEC: 1, Ceff: 1},
+		{Name: "lo", Period: 20, WCEC: 4, ACEC: 2, BCEC: 1, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := preempt.Build(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total order: hi₁ [0,10), lo₁ piece 0 [0,10), hi₂ [10,20), lo₁ piece 1
+	// [10,20). lo's first piece is a pure reservation (zero budget) whose
+	// end-time is deliberately late (18 ms): the buggy window rule took it
+	// as hi₂'s window start, clamping hi₂ to Vmax.
+	if len(plan.Subs) != 4 {
+		t.Fatalf("expansion has %d pieces, want 4", len(plan.Subs))
+	}
+	s := &core.Schedule{
+		Plan:    plan,
+		Model:   power.DefaultModel(),
+		End:     []float64{8, 18, 14, 20},
+		WCWork:  []float64{2, 0, 2, 4},
+		AvgWork: []float64{1, 0, 1, 2},
+	}
+	p, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reservation dropped: 3 executable pieces with windows measured from
+	// the last work-bearing end (8 for hi₂ — below its release 10).
+	want := []float64{8, 4, 6}
+	if !reflect.DeepEqual(p.staticWin, want) {
+		t.Errorf("static windows %v, want %v", p.staticWin, want)
 	}
 }
 

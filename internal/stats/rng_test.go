@@ -213,3 +213,21 @@ func TestChoiceDistribution(t *testing.T) {
 		}
 	}
 }
+
+// TestNormInvAgainstErf cross-checks the inverse-CDF sampler against the
+// standard library's error function: Φ(normInv(p)) must round-trip to p.
+func TestNormInvAgainstErf(t *testing.T) {
+	phi := func(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+	for _, p := range []float64{1e-12, 1e-6, 0.001, 0.02425, 0.1, 0.3, 0.5, 0.7, 0.9, 0.97575, 0.999, 1 - 1e-9} {
+		z := normInv(p)
+		if got := phi(z); math.Abs(got-p) > 1e-8*math.Max(p, 1-p)+1e-15 {
+			t.Errorf("Φ(normInv(%g)) = %g", p, got)
+		}
+	}
+	if !(normInv(0.5) == 0) {
+		t.Errorf("normInv(0.5) = %g, want 0", normInv(0.5))
+	}
+	if normInv(0.001) >= 0 || normInv(0.999) <= 0 {
+		t.Error("tail signs wrong")
+	}
+}
