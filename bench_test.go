@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -21,6 +22,48 @@ import (
 func benchCommon(b *testing.B) experiments.Common {
 	b.Helper()
 	return experiments.Common{Sets: 4, Reps: 50, Seed: 2005}
+}
+
+// benchSuite regenerates the (N=6, ratio 0.1) corner of the evaluation —
+// the Fig. 6(a) cell plus the slack, overhead and level ablations — through
+// one shared grid runner. The four harnesses derive identical task sets, so
+// with a memo the WCS/ACS solves run once instead of four times; without one
+// this is the pre-grid cost model (every harness re-solves from scratch).
+func benchSuite(b *testing.B, memo *grid.Memo) {
+	b.Helper()
+	common := benchCommon(b)
+	common.Grid = grid.New(0, memo)
+	if _, err := experiments.Fig6a(experiments.Fig6aConfig{
+		Common: common, TaskCounts: []int{6}, Ratios: []float64{0.1},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.SlackPolicyAblation(common, 6, 0.1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.TransitionOverheadAblation(common, 6, 0.1, nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.DiscreteLevelAblation(common, 6, 0.1, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkExperimentSuite measures the memoized experiment suite: each
+// iteration gets a fresh memo, so the speedup over ...NoCache is pure
+// *intra-suite* sharing, not warm-cache accounting.
+func BenchmarkExperimentSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSuite(b, grid.NewMemo())
+	}
+}
+
+// BenchmarkExperimentSuiteNoCache is the same suite with memoization
+// disabled — the denominator of the BENCH_grid.json trajectory.
+func BenchmarkExperimentSuiteNoCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchSuite(b, nil)
+	}
 }
 
 // BenchmarkMotivation regenerates Table 1 / Figs. 1–2 (experiment E1).

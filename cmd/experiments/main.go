@@ -1,6 +1,11 @@
 // Command experiments regenerates every table and figure of the paper plus
 // the ablation studies, printing text tables to stdout and optionally
-// writing CSVs for plotting. See DESIGN.md §4 for the experiment index.
+// writing CSVs for plotting. See DESIGN.md §4 for the experiment index and
+// §6 for the grid engine the harnesses run on.
+//
+// All experiments of one invocation share a single grid runner: one bounded
+// worker pool and (unless -cache=false) one content-addressed memo store, so
+// harnesses that sweep the same (N, ratio) cell share WCS/ACS solves.
 //
 // Usage:
 //
@@ -8,6 +13,8 @@
 //	experiments -only fig6a -sets 100 -reps 1000   # the paper's budget
 //	experiments -only motivation
 //	experiments -csv out/              # also write CSV files
+//	experiments -cache=false           # re-solve everything (debugging)
+//	experiments -cpuprofile cpu.pprof  # profile a regeneration
 package main
 
 import (
@@ -15,27 +22,56 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/grid"
 )
 
 func main() {
 	var (
 		only = flag.String("only", "all",
 			"experiment: all, motivation, fig6a, fig6b, slack, cap, overhead, levels, weighted, crosscheck")
-		sets    = flag.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
-		reps    = flag.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
-		seed    = flag.Uint64("seed", 2005, "master seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		starts  = flag.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
-		simWork = flag.Int("simworkers", 0, "parallel hyper-period simulation workers per sim run (0 = GOMAXPROCS; results identical for any value)")
-		csvDir  = flag.String("csv", "", "directory to write CSV results into")
+		sets       = flag.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
+		reps       = flag.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
+		seed       = flag.Uint64("seed", 2005, "master seed")
+		workers    = flag.Int("workers", 0, "grid worker-pool width (0 = GOMAXPROCS; results identical for any value)")
+		starts     = flag.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
+		simWork    = flag.Int("simworkers", 0, "parallel hyper-period simulation workers per sim run (0 = GOMAXPROCS; results identical for any value; harnesses whose per-set grid jobs already saturate the pool — fig6a and the random-set ablations — pin their inner sims serial and ignore this)")
+		cache      = flag.Bool("cache", true, "memoize schedule solves and plan compilations across experiments (results identical either way)")
+		csvDir     = flag.String("csv", "", "directory to write CSV results into")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
 
-	common := experiments.Common{Sets: *sets, Reps: *reps, Seed: *seed, Workers: *workers, Starts: *starts, SimWorkers: *simWork}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		// fail() exits through os.Exit, which skips defers; register the
+		// stop so the profile gets its trailer even on a failed run.
+		stopProfile = pprof.StopCPUProfile
+		defer pprof.StopCPUProfile()
+	}
+
+	var memo *grid.Memo
+	if *cache {
+		memo = grid.NewMemo()
+	}
+	g := grid.New(*workers, memo)
+	common := experiments.Common{
+		Sets: *sets, Reps: *reps, Seed: *seed,
+		Workers: *workers, Starts: *starts, SimWorkers: *simWork,
+		Grid: g,
+	}
 	want := func(name string) bool { return *only == "all" || *only == name }
 	wroteAny := false
 
@@ -151,6 +187,25 @@ func main() {
 	if !wroteAny {
 		fail(fmt.Errorf("unknown experiment %q", *only))
 	}
+
+	if memo != nil {
+		st := memo.Stats()
+		fmt.Printf("\ngrid cache: %d schedule solves shared %d times, %d plan compiles shared %d times\n",
+			st.ScheduleMisses, st.ScheduleHits, st.PlanMisses, st.PlanHits)
+	}
+
+	if *memprofile != "" {
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("wrote heap profile to %s\n", *memprofile)
+	}
 }
 
 func banner(s string) {
@@ -159,7 +214,14 @@ func banner(s string) {
 	fmt.Println(strings.Repeat("=", len(s)))
 }
 
+// stopProfile finalises an in-flight CPU profile before a fail() exit.
+var stopProfile func()
+
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
+	if stopProfile != nil {
+		stopProfile()
+		stopProfile = nil
+	}
 	os.Exit(1)
 }

@@ -20,7 +20,7 @@ import (
 // pure function of its own config, and the fan-in scans results in start
 // order preferring strictly better objectives — so the returned schedule is
 // bit-identical for a given (Starts, StartSeed) no matter how many workers
-// run, mirroring the deterministic fan-in of experiments.forEachSet.
+// run, mirroring the index-addressed fan-in of the grid engine (grid.Collect).
 func solveMultiStart(plan *preempt.Schedule, c Config) (*Schedule, error) {
 	starts := c.Starts
 	workers := c.StartWorkers

@@ -93,6 +93,14 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// Canonical returns the config with every defaulted field resolved to the
+// value the solver actually uses (Model, MaxSweeps, Tol, InitBlend,
+// LineTolMs, StartSeed, and the OptimizeSplits = !NoSplitOpt derivation).
+// Two configs with equal Canonical forms solve identically; the grid memo
+// hashes the canonical form so a zero config and an explicitly-defaulted one
+// share a cache key.
+func (c Config) Canonical() Config { return c.withDefaults() }
+
 // Build expands set into its fully-preemptive schedule and solves the static
 // voltage schedule for cfg's objective. It fails if the task set cannot meet
 // its deadlines even at the maximum voltage (the feasibility precondition of
@@ -142,7 +150,7 @@ func solveSingle(plan *preempt.Schedule, c Config) (*Schedule, float64, error) {
 	obj := s.optimize(c, ws)
 	s.Energy = s.ObjectiveEnergy()
 
-	if warm := c.WarmStart; warm != nil && len(warm.End) == n && warm.Plan.Set == plan.Set {
+	if warm := c.WarmStart; warmCompatible(warm, plan) {
 		alt := &Schedule{
 			Plan:      plan,
 			Model:     c.Model,
@@ -166,6 +174,41 @@ func solveSingle(plan *preempt.Schedule, c Config) (*Schedule, float64, error) {
 		return nil, 0, fmt.Errorf("core: solver produced an invalid schedule: %w", err)
 	}
 	return s, obj, nil
+}
+
+// warmCompatible reports whether warm's solution vectors are meaningful as a
+// starting point for plan: the task sets are equal in content and the
+// preemptive expansions have identical structure. Pointer identity is *not*
+// required — the grid memo shares schedules across harnesses that derive
+// equal task sets independently, and a warm start must behave the same
+// whether it came from the cache or a fresh solve (the cache-on/off
+// determinism contract, DESIGN.md §6). The structural comparison is O(subs),
+// noise against the solve it seeds.
+func warmCompatible(warm *Schedule, plan *preempt.Schedule) bool {
+	if warm == nil || warm.Plan == nil ||
+		len(warm.End) != len(plan.Subs) || len(warm.WCWork) != len(plan.Subs) {
+		return false
+	}
+	ws, ps := warm.Plan.Set, plan.Set
+	if ws == nil || ps == nil {
+		return false
+	}
+	if ws != ps {
+		if len(ws.Tasks) != len(ps.Tasks) || len(warm.Plan.Subs) != len(plan.Subs) {
+			return false
+		}
+		for i := range ps.Tasks {
+			if ws.Tasks[i] != ps.Tasks[i] {
+				return false
+			}
+		}
+		for i := range plan.Subs {
+			if warm.Plan.Subs[i] != plan.Subs[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Feasible reports whether the task set admits any schedule at all on the

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/opt"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -12,6 +13,17 @@ import (
 	"repro/internal/workload"
 	"repro/internal/yds"
 )
+
+// The random-set ablations (E5, E7, E8, E10) all sweep the same kind of
+// coordinate — the i-th random task set of an (N, ratio) cell — and differ
+// only in what they run on the solved schedules. Each drains its set loop
+// through the grid pool (one job per set, results folded in set order) and
+// derives its sets via randomCellSet, so the four harnesses and the matching
+// Fig. 6(a) cell all resolve to the *same* WCS/ACS solves in the grid memo.
+// (Before PR 3 each harness salted its seeds differently and re-ran the
+// whole generate→WCS→ACS pipeline from scratch; absolute ablation values
+// therefore differ from PR 2, while every invariant the tests pin —
+// orderings, normalisations — is seed-independent.)
 
 // --- E5: slack-policy ablation ---------------------------------------------
 
@@ -39,51 +51,54 @@ func SlackPolicyAblation(c Common, n int, ratio float64) ([]SlackCell, error) {
 		}
 	}
 
-	for i := 0; i < cc.Sets; i++ {
-		seed := stats.NewRNG(cc.Seed + uint64(i)*0x9e3779b97f4a7c15).Uint64()
-		rng := stats.NewRNG(seed)
-		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
-			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
-		}, 50, feasibleFilter(cc.Model))
+	g := cc.Grid
+	results, err := grid.CollectErr(g, cc.Sets, func(i int) ([]float64, error) {
+		set, rng, err := randomCellSet(cc, n, ratio, i)
 		if err != nil {
 			return nil, err
 		}
-		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
-		if err != nil {
-			return nil, err
-		}
-		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		acs, wcs, err := solvePair(g, set, cc, core.Config{})
 		if err != nil {
 			return nil, err
 		}
 		simSeed := rng.Uint64()
-
-		// Compile each schedule once; the six policy runs reuse the plans.
-		acsPlan, err := sim.Compile(acs)
+		acsPlan, err := g.CompileSchedule(acs)
 		if err != nil {
 			return nil, err
 		}
-		wcsPlan, err := sim.Compile(wcs)
+		wcsPlan, err := g.CompileSchedule(wcs)
 		if err != nil {
 			return nil, err
 		}
 
 		// NoDVS energy is policy-invariant across schedules up to workload
-		// draws; use the WCS schedule's run as the normaliser.
-		base, err := wcsPlan.Run(sim.Config{Policy: sim.NoDVS, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
+		// draws; use the WCS schedule's run as the normaliser. The grid pool
+		// is already saturated by per-set jobs, so inner sims stay serial.
+		base, err := wcsPlan.Run(sim.Config{Policy: sim.NoDVS, Hyperperiods: cc.Reps, Seed: simSeed})
 		if err != nil {
 			return nil, err
 		}
+		rel := make([]float64, len(cells))
 		for ci := range cells {
 			p := acsPlan
 			if cells[ci].Schedule == "WCS" {
 				p = wcsPlan
 			}
-			r, err := p.Run(sim.Config{Policy: cells[ci].Policy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
+			r, err := p.Run(sim.Config{Policy: cells[ci].Policy, Hyperperiods: cc.Reps, Seed: simSeed})
 			if err != nil {
 				return nil, err
 			}
-			cells[ci].RelEnergy.Add(r.Energy / base.Energy)
+			rel[ci] = r.Energy / base.Energy
+		}
+		return rel, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, rel := range results {
+		for ci := range cells {
+			cells[ci].RelEnergy.Add(rel[ci])
 		}
 	}
 	return cells, nil
@@ -117,7 +132,10 @@ type CapCell struct {
 
 // SubInstanceCapAblation sweeps preempt.Options.MaxSubsPerInstance on the
 // GAP application at the given ratio, quantifying what the fully-preemptive
-// expansion buys against its NLP cost.
+// expansion buys against its NLP cost. Caps are independent jobs on the grid
+// pool (each cap changes the preemptive expansion, so nothing is shared
+// between them — but re-runs at a cap Fig. 6(b) also uses hit its memo
+// entry).
 func SubInstanceCapAblation(c Common, ratio float64, caps []int) ([]CapCell, error) {
 	cc := c.withDefaults()
 	if len(caps) == 0 {
@@ -127,20 +145,18 @@ func SubInstanceCapAblation(c Common, ratio float64, caps []int) ([]CapCell, err
 	if err != nil {
 		return nil, err
 	}
-	var out []CapCell
-	for _, capN := range caps {
+	g := cc.Grid
+	return grid.Collect(g, len(caps), func(i int) CapCell {
 		pre := core.Config{}
-		pre.Preempt.MaxSubsPerInstance = capN
-		imp, subs, err := compareOnSet(set, cc, cc.Seed, pre)
+		pre.Preempt.MaxSubsPerInstance = caps[i]
+		imp, subs, err := compareOnSet(g, set, cc, cc.Seed, pre)
 		if err != nil {
 			// Aggressive merging can make the worst case unschedulable at
 			// Vmax; report the cell rather than aborting the sweep.
-			out = append(out, CapCell{Cap: capN, Infeasible: true})
-			continue
+			return CapCell{Cap: caps[i], Infeasible: true}
 		}
-		out = append(out, CapCell{Cap: capN, Subs: subs, Improvement: imp})
-	}
-	return out, nil
+		return CapCell{Cap: caps[i], Subs: subs, Improvement: imp}
+	}), nil
 }
 
 // CapTable renders the cap ablation.
@@ -174,7 +190,9 @@ type OverheadCell struct {
 }
 
 // TransitionOverheadAblation re-runs the Fig. 6(a) comparison at one (N,
-// ratio) cell while charging per-switch overhead.
+// ratio) cell while charging per-switch overhead. The per-set solves are the
+// Fig. 6(a) cell's own (shared through the memo); only the simulations
+// differ per overhead point.
 func TransitionOverheadAblation(c Common, n int, ratio float64, overheads []sim.Overhead) ([]OverheadCell, error) {
 	cc := c.withDefaults()
 	if len(overheads) == 0 {
@@ -190,51 +208,57 @@ func TransitionOverheadAblation(c Common, n int, ratio float64, overheads []sim.
 		cells[oi] = OverheadCell{TimeMs: ov.TimeMs, EnergyPerSw: ov.EnergyPerSwitch}
 	}
 
-	misses := make([]int, len(overheads))
-	runs := 0
-	for i := 0; i < cc.Sets; i++ {
-		seed := stats.NewRNG(cc.Seed + 77 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
-		rng := stats.NewRNG(seed)
-		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
-			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
-		}, 50, feasibleFilter(cc.Model))
+	type setRes struct {
+		imp    []float64 // per overhead point
+		missed []bool
+	}
+	g := cc.Grid
+	results, err := grid.CollectErr(g, cc.Sets, func(i int) (setRes, error) {
+		set, rng, err := randomCellSet(cc, n, ratio, i)
 		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
-		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		acs, wcs, err := solvePair(g, set, cc, core.Config{})
 		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
-		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		acsPlan, err := g.CompileSchedule(acs)
 		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
-		acsPlan, err := sim.Compile(acs)
+		wcsPlan, err := g.CompileSchedule(wcs)
 		if err != nil {
-			return nil, err
-		}
-		wcsPlan, err := sim.Compile(wcs)
-		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
 		simSeed := rng.Uint64()
-		runs++
+		res := setRes{imp: make([]float64, len(overheads)), missed: make([]bool, len(overheads))}
 		for oi, ov := range overheads {
 			imp, ra, rb, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
 				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Overhead: ov,
-				Workers: cc.SimWorkers,
 			})
 			if err != nil {
-				return nil, err
+				return setRes{}, err
 			}
-			cells[oi].Improvement.Add(imp)
-			if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
+			res.imp[oi] = imp
+			res.missed[oi] = ra.DeadlineMisses+rb.DeadlineMisses > 0
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	misses := make([]int, len(overheads))
+	for _, r := range results {
+		for oi := range cells {
+			cells[oi].Improvement.Add(r.imp[oi])
+			if r.missed[oi] {
 				misses[oi]++
 			}
 		}
 	}
 	for oi := range cells {
-		cells[oi].MissRate = float64(misses[oi]) / float64(runs)
+		cells[oi].MissRate = float64(misses[oi]) / float64(cc.Sets)
 	}
 	return cells, nil
 }
@@ -274,27 +298,36 @@ func DiscreteLevelAblation(c Common, n int, ratio float64, levelCounts []int) ([
 		cells[li] = LevelCell{Levels: l}
 	}
 
-	for i := 0; i < cc.Sets; i++ {
-		seed := stats.NewRNG(cc.Seed + 991 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
-		rng := stats.NewRNG(seed)
-		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
-			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
-		}, 50, feasibleFilter(cc.Model))
+	g := cc.Grid
+	results, err := grid.CollectErr(g, cc.Sets, func(i int) ([]float64, error) {
+		set, rng, err := randomCellSet(cc, n, ratio, i)
 		if err != nil {
 			return nil, err
 		}
-		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
-		if err != nil {
-			return nil, err
-		}
-		acs, err := core.Build(set, core.Config{Objective: core.AverageCase, Model: cc.Model, WarmStart: wcs})
+		acs, wcs, err := solvePair(g, set, cc, core.Config{})
 		if err != nil {
 			return nil, err
 		}
 		simSeed := rng.Uint64()
+		imps := make([]float64, len(levelCounts))
 		for li, l := range levelCounts {
-			runA, runB := acs, wcs
-			if l > 0 {
+			var imp float64
+			if l == 0 {
+				// Continuous: run the memoized compiled plans directly.
+				acsPlan, err := g.CompileSchedule(acs)
+				if err != nil {
+					return nil, err
+				}
+				wcsPlan, err := g.CompileSchedule(wcs)
+				if err != nil {
+					return nil, err
+				}
+				if imp, _, _, err = sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
+					Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed,
+				}); err != nil {
+					return nil, err
+				}
+			} else {
 				levels, err := power.UniformLevels(cc.Model, l)
 				if err != nil {
 					return nil, err
@@ -304,22 +337,28 @@ func DiscreteLevelAblation(c Common, n int, ratio float64, levelCounts []int) ([
 					return nil, err
 				}
 				// Swap the runtime model; static End/WCWork stay as solved.
-				// Each level needs its own compile (the plan bakes in the
-				// model's voltages), so compare the schedules directly.
+				// The cached schedules are shared, so clone before mutating.
 				a2 := core.CloneSchedule(acs)
 				a2.Model = dm
 				b2 := core.CloneSchedule(wcs)
 				b2.Model = dm
-				runA, runB = a2, b2
+				if imp, _, _, err = sim.Compare(a2, b2, sim.Config{
+					Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed,
+				}); err != nil {
+					return nil, err
+				}
 			}
-			imp, _, _, err := sim.Compare(runA, runB, sim.Config{
-				Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed,
-				Workers: cc.SimWorkers,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cells[li].Improvement.Add(imp)
+			imps[li] = imp
+		}
+		return imps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, imps := range results {
+		for li := range cells {
+			cells[li].Improvement.Add(imps[li])
 		}
 	}
 	return cells, nil
@@ -360,9 +399,12 @@ type CrossCheckResult struct {
 	YDSLower  float64
 }
 
-// SolverCrossCheck runs E9 on a random small set (n tasks).
+// SolverCrossCheck runs E9 on a random small set (n tasks). Its two
+// identical WCS builds (warm-start source and baseline) collapse to one
+// solve through the grid memo.
 func SolverCrossCheck(c Common, n int) (*CrossCheckResult, error) {
 	cc := c.withDefaults()
+	g := cc.Grid
 	rng := stats.NewRNG(cc.Seed + 4242)
 	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
 		N: n, Ratio: 0.5, Utilization: cc.Utilization, Model: cc.Model,
@@ -370,11 +412,11 @@ func SolverCrossCheck(c Common, n int) (*CrossCheckResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	wcsWarm, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+	wcsWarm, err := g.BuildSchedule(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
 	if err != nil {
 		return nil, err
 	}
-	acs, err := core.Build(set, core.Config{
+	acs, err := g.BuildSchedule(set, core.Config{
 		Objective: core.AverageCase, Model: cc.Model, WarmStart: wcsWarm,
 	})
 	if err != nil {
@@ -399,7 +441,7 @@ func SolverCrossCheck(c Common, n int) (*CrossCheckResult, error) {
 	}
 	out.Penalty, out.PenaltyViolation = obj, viol
 
-	wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+	wcs, err := g.BuildSchedule(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,17 @@
 // Package experiments reproduces every table and figure of the paper's
 // evaluation (§4, Fig. 6) plus the ablation studies DESIGN.md calls out.
 // Each experiment is a pure function of its config (including the seed), so
-// results are reproducible bit-for-bit; the heavy sweeps fan out across a
-// bounded worker pool.
+// results are reproducible bit-for-bit.
+//
+// Every harness runs on the grid engine (internal/grid, DESIGN.md §6): its
+// (cell, task-set) coordinates are flattened into index-addressed jobs
+// drained by one bounded worker pool, results are folded in index order, and
+// the WCS→ACS solve pipeline is routed through the grid's content-addressed
+// memo. Harnesses that sweep random sets at the same (N, ratio) cell derive
+// *identical* task sets (randomCellSet), so the slack, overhead, level and
+// weighted ablations share the Fig. 6(a) cell's solves instead of repeating
+// them. Output is bit-identical for any worker count and with the cache on
+// or off (TestGridDeterminism pins this).
 package experiments
 
 import (
@@ -10,13 +19,14 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/workload"
 )
 
 // Common holds knobs shared by the sweep experiments.
@@ -32,12 +42,14 @@ type Common struct {
 	Seed uint64
 	// Utilization is the worst-case utilisation target (paper: 0.7).
 	Utilization float64
-	// Workers bounds parallel task-set evaluations (default GOMAXPROCS).
+	// Workers bounds the grid pool the harness drains its jobs through
+	// (default GOMAXPROCS). Ignored when Grid is set — the runner's own
+	// width wins. Results never depend on it.
 	Workers int
 	// SimWorkers bounds parallel hyper-period simulation inside each sim
 	// run (default GOMAXPROCS; results are bit-identical for any value).
-	// Harnesses that already saturate the host with per-set parallelism
-	// (Fig. 6(a)) override it to 1 for their inner runs.
+	// Harnesses whose per-set jobs already saturate the grid pool pin it
+	// to 1 for their inner runs.
 	SimWorkers int
 	// Starts is the solver multi-start count per schedule build (0 or 1 =
 	// single start). Starts run sequentially inside each task-set worker —
@@ -46,6 +58,13 @@ type Common struct {
 	Starts int
 	// Model overrides the processor model (default power.DefaultModel()).
 	Model power.Model
+	// Grid, when set, supplies the shared execution engine: the worker
+	// pool every harness drains its jobs through and the content-addressed
+	// memo that shares WCS/ACS solves across harnesses. nil gives the
+	// harness a private runner (Workers wide, caching enabled) — correct
+	// but without cross-harness sharing; cmd/experiments passes one runner
+	// to every experiment of a regeneration.
+	Grid *grid.Runner
 }
 
 func (c *Common) withDefaults() Common {
@@ -68,6 +87,9 @@ func (c *Common) withDefaults() Common {
 	if out.Model == nil {
 		out.Model = power.DefaultModel()
 	}
+	if out.Grid == nil {
+		out.Grid = grid.New(out.Workers, grid.NewMemo())
+	}
 	return out
 }
 
@@ -84,34 +106,84 @@ type Cell struct {
 	Failures int
 }
 
-// compareOnSet builds ACS and WCS for one task set and simulates both under
-// identical stochastic workloads, returning the Fig. 6 improvement
-// percentage and the sub-instance count.
-func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct float64, subs int, err error) {
+// cellMaster derives the master seed of an (n, ratio) sweep cell.
+func cellMaster(seed uint64, n int, ratio float64) uint64 {
+	return seed ^ stats.SeedFromCell(n, ratio)
+}
+
+// setSeed derives the i-th per-set seed under a cell master seed.
+func setSeed(master uint64, i int) uint64 {
+	return stats.NewRNG(master + uint64(i)*0x9e3779b97f4a7c15).Uint64()
+}
+
+// randomCellSet draws the i-th random task set of an (n, ratio) cell,
+// returning the set together with the RNG mid-stream (harnesses draw their
+// simulation seeds from it, after the generator's consumption). Every
+// harness that sweeps random sets at a cell goes through this one
+// derivation, so equal (Seed, n, ratio, i) coordinates yield identical sets
+// everywhere and the grid memo shares their solves across harnesses.
+func randomCellSet(c Common, n int, ratio float64, i int) (*task.Set, *stats.RNG, error) {
+	rng := stats.NewRNG(setSeed(cellMaster(c.Seed, n, ratio), i))
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{
+		N:           n,
+		Ratio:       ratio,
+		Utilization: c.Utilization,
+		Model:       c.Model,
+	}, 50, feasibleFilter(c.Model))
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, rng, nil
+}
+
+// solvePair builds the WCS baseline and the warm-started ACS schedule for
+// one task set through the grid runner — the pipeline every comparison
+// harness uses. Warm-starting ACS from the WCS solution guarantees ACS can
+// never converge to a point worse (on its own objective) than the baseline
+// it is compared against. Identical (set, config, model) pipelines across
+// harnesses resolve to one solve via the memo; the returned schedules are
+// shared and must be treated as immutable.
+func solvePair(g *grid.Runner, set *task.Set, c Common, pre core.Config) (acs, wcs *core.Schedule, err error) {
 	wcsCfg := pre
 	wcsCfg.Model = c.Model
 	wcsCfg.Objective = core.WorstCase
 	wcsCfg.Starts = c.Starts
-	wcsCfg.StartWorkers = 1 // the set-level pool already saturates the host
-	wcs, err := core.Build(set, wcsCfg)
+	wcsCfg.StartWorkers = 1 // the grid pool already saturates the host
+	wcs, err = g.BuildSchedule(set, wcsCfg)
 	if err != nil {
-		return 0, 0, fmt.Errorf("WCS: %w", err)
+		return nil, nil, fmt.Errorf("WCS: %w", err)
 	}
-
-	// Warm-start ACS from the WCS solution so ACS can never converge to a
-	// point worse (on its own objective) than the baseline it is compared
-	// against.
 	acsCfg := pre
 	acsCfg.Model = c.Model
 	acsCfg.Objective = core.AverageCase
 	acsCfg.WarmStart = wcs
 	acsCfg.Starts = c.Starts
 	acsCfg.StartWorkers = 1
-	acs, err := core.Build(set, acsCfg)
+	acs, err = g.BuildSchedule(set, acsCfg)
 	if err != nil {
-		return 0, 0, fmt.Errorf("ACS: %w", err)
+		return nil, nil, fmt.Errorf("ACS: %w", err)
 	}
-	imp, _, _, err := sim.Compare(acs, wcs, sim.Config{
+	return acs, wcs, nil
+}
+
+// compareOnSet builds ACS and WCS for one task set and simulates both under
+// identical stochastic workloads, returning the Fig. 6 improvement
+// percentage and the sub-instance count. Solves and plan compilations go
+// through the grid memo.
+func compareOnSet(g *grid.Runner, set *task.Set, c Common, seed uint64, pre core.Config) (impPct float64, subs int, err error) {
+	acs, wcs, err := solvePair(g, set, c, pre)
+	if err != nil {
+		return 0, 0, err
+	}
+	acsPlan, err := g.CompileSchedule(acs)
+	if err != nil {
+		return 0, 0, err
+	}
+	wcsPlan, err := g.CompileSchedule(wcs)
+	if err != nil {
+		return 0, 0, err
+	}
+	imp, _, _, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
 		Policy:       sim.Greedy,
 		Hyperperiods: c.Reps,
 		Seed:         seed,
@@ -123,50 +195,20 @@ func compareOnSet(set *task.Set, c Common, seed uint64, pre core.Config) (impPct
 	return imp, len(acs.Plan.Subs), nil
 }
 
-// forEachSet runs fn for set indices [0, n) on a bounded worker pool,
-// collecting results in index order. Each invocation receives its own
-// deterministic seed derived from the master seed and the index, so results
-// do not depend on goroutine scheduling.
-func forEachSet(n, workers int, master uint64, fn func(i int, seed uint64) (float64, int, error)) (vals []float64, subs []int, failures int) {
-	type res struct {
-		v   float64
-		s   int
-		err error
-	}
-	out := make([]res, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			seed := stats.NewRNG(master + uint64(i)*0x9e3779b97f4a7c15).Uint64()
-			v, s, err := fn(i, seed)
-			out[i] = res{v, s, err}
-		}(i)
-	}
-	wg.Wait()
-	for _, r := range out {
-		if r.err != nil {
-			failures++
-			continue
-		}
-		vals = append(vals, r.v)
-		subs = append(subs, r.s)
-	}
-	return vals, subs, failures
-}
-
 // Table renders cells as an aligned text table, one row per N, one column
 // per ratio — the transpose of Fig. 6(a)'s series layout.
 func Table(cells []Cell, caption string) string {
 	ns := map[int]bool{}
 	rs := map[float64]bool{}
-	for _, c := range cells {
-		ns[c.N] = true
-		rs[c.Ratio] = true
+	type coord struct {
+		n int
+		r float64
+	}
+	at := make(map[coord]*Cell, len(cells))
+	for i := range cells {
+		ns[cells[i].N] = true
+		rs[cells[i].Ratio] = true
+		at[coord{cells[i].N, cells[i].Ratio}] = &cells[i]
 	}
 	var nList []int
 	for n := range ns {
@@ -179,15 +221,6 @@ func Table(cells []Cell, caption string) string {
 	}
 	sort.Float64s(rList)
 
-	at := func(n int, r float64) *Cell {
-		for i := range cells {
-			if cells[i].N == n && cells[i].Ratio == r {
-				return &cells[i]
-			}
-		}
-		return nil
-	}
-
 	var b strings.Builder
 	b.WriteString(caption + "\n")
 	b.WriteString(fmt.Sprintf("%-8s", "N\\ratio"))
@@ -198,7 +231,7 @@ func Table(cells []Cell, caption string) string {
 	for _, n := range nList {
 		b.WriteString(fmt.Sprintf("%-8d", n))
 		for _, r := range rList {
-			c := at(n, r)
+			c := at[coord{n, r}]
 			if c == nil || c.Improvement.N() == 0 {
 				b.WriteString(fmt.Sprintf("%16s", "-"))
 				continue

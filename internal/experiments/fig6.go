@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -21,6 +22,12 @@ type Fig6aConfig struct {
 
 // Fig6a reproduces Fig. 6(a): the percentage energy improvement of ACS over
 // WCS as a function of task count, one series per BCEC/WCEC ratio.
+//
+// The whole sweep — every (N, ratio, set) coordinate — is flattened into one
+// job list drained by the grid pool, so a slow cell's tail overlaps the next
+// cell's work instead of idling the host behind a per-cell barrier. Per-set
+// results land in index-addressed slots and are folded per cell in set
+// order, keeping the figure bit-identical for any worker count.
 func Fig6a(cfg Fig6aConfig) ([]Cell, error) {
 	c := cfg.Common.withDefaults()
 	counts := cfg.TaskCounts
@@ -32,34 +39,46 @@ func Fig6a(cfg Fig6aConfig) ([]Cell, error) {
 		ratios = []float64{0.1, 0.5, 0.9}
 	}
 
-	// The per-set pool already saturates the host; keep each inner
+	// The flat job pool already saturates the host; keep each inner
 	// simulation serial (results are identical either way).
 	cSet := c
 	cSet.SimWorkers = 1
 
-	var cells []Cell
-	for _, n := range counts {
-		for _, ratio := range ratios {
-			cell := Cell{N: n, Ratio: ratio}
-			vals, subs, failures := forEachSet(c.Sets, c.Workers, c.Seed^stats.SeedFromCell(n, ratio),
-				func(i int, seed uint64) (float64, int, error) {
-					rng := stats.NewRNG(seed)
-					set, err := workload.RandomFeasible(rng, workload.RandomConfig{
-						N:           n,
-						Ratio:       ratio,
-						Utilization: c.Utilization,
-						Model:       c.Model,
-					}, 50, feasibleFilter(c.Model))
-					if err != nil {
-						return 0, 0, err
-					}
-					return compareOnSet(set, cSet, rng.Uint64(), core.Config{})
-				})
-			cell.Improvement.AddAll(vals)
-			cell.Failures = failures
-			cell.MeanSubs = meanInts(subs)
-			cells = append(cells, cell)
+	type setRes struct {
+		imp  float64
+		subs int
+		err  error
+	}
+	nCells := len(counts) * len(ratios)
+	results := make([]setRes, nCells*c.Sets)
+	g := c.Grid
+	g.ForEach(len(results), func(j int) {
+		ci, i := j/c.Sets, j%c.Sets
+		n, ratio := counts[ci/len(ratios)], ratios[ci%len(ratios)]
+		set, rng, err := randomCellSet(c, n, ratio, i)
+		if err != nil {
+			results[j] = setRes{err: err}
+			return
 		}
+		imp, subs, err := compareOnSet(g, set, cSet, rng.Uint64(), core.Config{})
+		results[j] = setRes{imp: imp, subs: subs, err: err}
+	})
+
+	cells := make([]Cell, 0, nCells)
+	for ci := 0; ci < nCells; ci++ {
+		cell := Cell{N: counts[ci/len(ratios)], Ratio: ratios[ci%len(ratios)]}
+		var subs []int
+		for i := 0; i < c.Sets; i++ {
+			r := &results[ci*c.Sets+i]
+			if r.err != nil {
+				cell.Failures++
+				continue
+			}
+			cell.Improvement.Add(r.imp)
+			subs = append(subs, r.subs)
+		}
+		cell.MeanSubs = meanInts(subs)
+		cells = append(cells, cell)
 	}
 	return cells, nil
 }
@@ -90,6 +109,13 @@ type AppCell struct {
 // applications across BCEC/WCEC ratios. Unlike Fig. 6(a) the task sets are
 // fixed, so variability comes only from simulation seeds: each cell runs
 // SeedReps simulations (bounded by Common.Sets) and reports their spread.
+//
+// Cells are the flat job unit (the solve dominates; the per-seed loop reuses
+// the memoized compiled plans). Per-seed streams are derived from the full
+// (app, ratio, k) coordinate — ratio included, so no two cells of an app
+// share workload draws. That derivation changed in PR 3: absolute simulated
+// energies differ from PR 2, which keyed streams by (app, k) only and fed
+// every ratio of an app the same draws.
 func Fig6b(cfg Fig6bConfig) ([]AppCell, error) {
 	c := cfg.Common.withDefaults()
 	ratios := cfg.Ratios
@@ -104,67 +130,50 @@ func Fig6b(cfg Fig6bConfig) ([]AppCell, error) {
 	if subCap == 0 {
 		subCap = 12
 	}
-
-	var out []AppCell
-	for _, app := range apps {
-		for _, ratio := range ratios {
-			set, err := makeApp(app, ratio, c)
-			if err != nil {
-				return nil, err
-			}
-			pre := core.Config{}
-			pre.Preempt.MaxSubsPerInstance = subCap
-
-			wcsCfg := pre
-			wcsCfg.Model = c.Model
-			wcsCfg.Objective = core.WorstCase
-			wcs, err := core.Build(set, wcsCfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s ratio %g WCS: %w", app, ratio, err)
-			}
-			acsCfg := pre
-			acsCfg.Model = c.Model
-			acsCfg.Objective = core.AverageCase
-			acsCfg.WarmStart = wcs
-			acs, err := core.Build(set, acsCfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s ratio %g ACS: %w", app, ratio, err)
-			}
-
-			// Compile both schedules once per cell; the per-seed loop only
-			// re-runs the compiled engine.
-			acsPlan, err := sim.Compile(acs)
-			if err != nil {
-				return nil, err
-			}
-			wcsPlan, err := sim.Compile(wcs)
-			if err != nil {
-				return nil, err
-			}
-
-			cell := AppCell{App: app, Ratio: ratio, Subs: len(acs.Plan.Subs)}
-			seedReps := c.Sets
-			if seedReps > 10 {
-				seedReps = 10
-			}
-			for k := 0; k < seedReps; k++ {
-				seed := stats.NewRNG(c.Seed + uint64(k)*0x9e3779b97f4a7c15 + stats.SeedFromString(app)).Uint64()
-				imp, _, _, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
-					Policy:       sim.Greedy,
-					Hyperperiods: c.Reps,
-					Seed:         seed,
-					Workers:      c.SimWorkers,
-				})
-				if err != nil {
-					return nil, err
-				}
-				cell.Seeds.Add(imp)
-			}
-			cell.Improvement = cell.Seeds.Mean()
-			out = append(out, cell)
-		}
+	seedReps := c.Sets
+	if seedReps > 10 {
+		seedReps = 10
 	}
-	return out, nil
+
+	g := c.Grid
+	return grid.CollectErr(g, len(apps)*len(ratios), func(j int) (AppCell, error) {
+		app, ratio := apps[j/len(ratios)], ratios[j%len(ratios)]
+		set, err := makeApp(app, ratio, c)
+		if err != nil {
+			return AppCell{}, err
+		}
+		pre := core.Config{}
+		pre.Preempt.MaxSubsPerInstance = subCap
+		acs, wcs, err := solvePair(g, set, c, pre)
+		if err != nil {
+			return AppCell{}, fmt.Errorf("%s ratio %g: %w", app, ratio, err)
+		}
+		acsPlan, err := g.CompileSchedule(acs)
+		if err != nil {
+			return AppCell{}, err
+		}
+		wcsPlan, err := g.CompileSchedule(wcs)
+		if err != nil {
+			return AppCell{}, err
+		}
+
+		cell := AppCell{App: app, Ratio: ratio, Subs: len(acs.Plan.Subs)}
+		for k := 0; k < seedReps; k++ {
+			seed := setSeed(c.Seed+stats.SeedFromApp(app, ratio), k)
+			imp, _, _, err := sim.ComparePlans(acsPlan, wcsPlan, sim.Config{
+				Policy:       sim.Greedy,
+				Hyperperiods: c.Reps,
+				Seed:         seed,
+				Workers:      c.SimWorkers,
+			})
+			if err != nil {
+				return AppCell{}, err
+			}
+			cell.Seeds.Add(imp)
+		}
+		cell.Improvement = cell.Seeds.Mean()
+		return cell, nil
+	})
 }
 
 // AppTable renders Fig. 6(b) cells.

@@ -5,9 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // --- E10: probability-weighted objective --------------------------------------
@@ -30,6 +30,8 @@ type WeightedCell struct {
 // that the average workload is "a good enough approximation" of the expected
 // energy: if the claim holds, the scenario objectives should improve little
 // over point-ACEC while predicting the realised energy more accurately.
+// Sets are grid jobs; the WCS baseline and the K=0 ACS build are the same
+// memo entries the other harnesses at this (N, ratio) cell use.
 func WeightedObjectiveAblation(c Common, n int, ratio float64, scenarioCounts []int) ([]WeightedCell, error) {
 	cc := c.withDefaults()
 	if len(scenarioCounts) == 0 {
@@ -40,54 +42,83 @@ func WeightedObjectiveAblation(c Common, n int, ratio float64, scenarioCounts []
 		cells[i] = WeightedCell{Scenarios: k}
 	}
 
-	for i := 0; i < cc.Sets; i++ {
-		seed := stats.NewRNG(cc.Seed + 555 + uint64(i)*0x9e3779b97f4a7c15).Uint64()
-		rng := stats.NewRNG(seed)
-		set, err := workload.RandomFeasible(rng, workload.RandomConfig{
-			N: n, Ratio: ratio, Utilization: cc.Utilization, Model: cc.Model,
-		}, 50, feasibleFilter(cc.Model))
+	type setRes struct {
+		imp, gap []float64 // per scenario count
+	}
+	g := cc.Grid
+	results, err := grid.CollectErr(g, cc.Sets, func(i int) (setRes, error) {
+		set, rng, err := randomCellSet(cc, n, ratio, i)
 		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
-		wcs, err := core.Build(set, core.Config{Objective: core.WorstCase, Model: cc.Model})
+		wcsCfg := core.Config{Objective: core.WorstCase, Model: cc.Model,
+			Starts: cc.Starts, StartWorkers: 1}
+		wcs, err := g.BuildSchedule(set, wcsCfg)
 		if err != nil {
-			return nil, err
+			return setRes{}, err
 		}
 		simSeed := rng.Uint64()
-		base, err := sim.Run(wcs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
+		// Scenario streams must be independent of the set-generation prefix
+		// (rng is mid-stream here) and *identical* between the solve and the
+		// ExpectedEnergy prediction: the solver ORs ScenarioSeed with 1, so
+		// pre-set that bit and pass the same value to both.
+		scenSeed := rng.Uint64() | 1
+		wcsPlan, err := g.CompileSchedule(wcs)
 		if err != nil {
-			return nil, err
+			return setRes{}, err
+		}
+		base, err := wcsPlan.Run(sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+		if err != nil {
+			return setRes{}, err
 		}
 
+		res := setRes{imp: make([]float64, len(scenarioCounts)), gap: make([]float64, len(scenarioCounts))}
 		for ci, k := range scenarioCounts {
-			acs, err := core.Build(set, core.Config{
+			acs, err := g.BuildSchedule(set, core.Config{
 				Objective:    core.AverageCase,
 				Model:        cc.Model,
 				WarmStart:    wcs,
 				Scenarios:    k,
-				ScenarioSeed: seed,
+				ScenarioSeed: scenSeed,
+				Starts:       cc.Starts,
+				StartWorkers: 1,
 			})
 			if err != nil {
-				return nil, err
+				return setRes{}, err
 			}
-			r, err := sim.Run(acs, sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed, Workers: cc.SimWorkers})
+			acsPlan, err := g.CompileSchedule(acs)
 			if err != nil {
-				return nil, err
+				return setRes{}, err
 			}
-			cells[ci].Improvement.Add(100 * (base.Energy - r.Energy) / base.Energy)
+			r, err := acsPlan.Run(sim.Config{Policy: sim.Greedy, Hyperperiods: cc.Reps, Seed: simSeed})
+			if err != nil {
+				return setRes{}, err
+			}
+			res.imp[ci] = 100 * (base.Energy - r.Energy) / base.Energy
 
 			realised := r.Energy / float64(cc.Reps)
 			predicted := acs.Energy // point objective
 			if k > 0 {
-				if predicted, err = acs.ExpectedEnergy(k, seed); err != nil {
-					return nil, err
+				if predicted, err = acs.ExpectedEnergy(k, scenSeed); err != nil {
+					return setRes{}, err
 				}
 			}
 			gap := predicted - realised
 			if gap < 0 {
 				gap = -gap
 			}
-			cells[ci].ObjGap.Add(100 * gap / realised)
+			res.gap[ci] = 100 * gap / realised
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, r := range results {
+		for ci := range cells {
+			cells[ci].Improvement.Add(r.imp[ci])
+			cells[ci].ObjGap.Add(r.gap[ci])
 		}
 	}
 	return cells, nil

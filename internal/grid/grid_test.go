@@ -1,0 +1,295 @@
+package grid
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/preempt"
+	"repro/internal/task"
+)
+
+func testSet(t testing.TB) *task.Set {
+	t.Helper()
+	set, err := task.NewSet([]task.Task{
+		{Name: "a", Period: 10, WCEC: 4, ACEC: 2, BCEC: 1, Ceff: 1},
+		{Name: "b", Period: 20, WCEC: 6, ACEC: 3, BCEC: 2, Ceff: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestForEachRunsEveryJobOnceBounded(t *testing.T) {
+	r := New(4, nil)
+	const n = 100
+	var ran [n]atomic.Int32
+	var active, peak atomic.Int32
+	r.ForEach(n, func(i int) {
+		if a := active.Add(1); a > peak.Load() {
+			peak.Store(a)
+		}
+		ran[i].Add(1)
+		active.Add(-1)
+	})
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak concurrency %d exceeds pool width 4", p)
+	}
+}
+
+func TestCollectOrdersResultsByIndex(t *testing.T) {
+	r := New(8, nil)
+	out := Collect(r, 50, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestCollectErrFailsFast(t *testing.T) {
+	r := New(2, nil)
+	var started atomic.Int32
+	_, err := CollectErr(r, 1000, func(i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// After the failure the dispatcher stops handing out indices; only the
+	// jobs already in flight may still have run.
+	if n := started.Load(); n == 1000 {
+		t.Error("all jobs ran to completion despite an early failure")
+	}
+
+	// Success path: every result present, in order.
+	out, err := CollectErr(r, 20, func(i int) (int, error) { return i * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+}
+
+func TestScheduleKeyContract(t *testing.T) {
+	set := testSet(t)
+	base := core.Config{Objective: core.AverageCase}
+	k0, ok := ScheduleKey(set, base)
+	if !ok {
+		t.Fatal("base config not hashable")
+	}
+
+	// Equal configs share a key.
+	if k1, _ := ScheduleKey(set, base); k1 != k0 {
+		t.Error("equal configs produced different keys")
+	}
+
+	// Defaulted and explicit forms share a key.
+	explicit := base
+	explicit.Model = power.DefaultModel()
+	explicit.MaxSweeps = 100
+	explicit.Tol = 1e-6
+	explicit.InitBlend = 0.7
+	explicit.LineTolMs = 1e-4
+	explicit.StartSeed = 2005
+	if k1, _ := ScheduleKey(set, explicit); k1 != k0 {
+		t.Error("explicitly-defaulted config keys apart from the zero config")
+	}
+
+	// Result-irrelevant knobs are excluded: StartWorkers, Starts 0 vs 1,
+	// ScenarioSeed while Scenarios == 0, StartSeed while Starts <= 1.
+	for name, cfg := range map[string]core.Config{
+		"StartWorkers":         {Objective: core.AverageCase, StartWorkers: 7},
+		"Starts=1":             {Objective: core.AverageCase, Starts: 1},
+		"dormant ScenarioSeed": {Objective: core.AverageCase, ScenarioSeed: 99},
+		"dormant StartSeed":    {Objective: core.AverageCase, StartSeed: 77},
+	} {
+		if k1, _ := ScheduleKey(set, cfg); k1 != k0 {
+			t.Errorf("%s changed the key but cannot change the solve", name)
+		}
+	}
+
+	// Result-relevant fields split keys.
+	diff := map[string]core.Config{
+		"Objective":  {Objective: core.WorstCase},
+		"MaxSweeps":  {Objective: core.AverageCase, MaxSweeps: 7},
+		"Tol":        {Objective: core.AverageCase, Tol: 1e-3},
+		"NoSplitOpt": {Objective: core.AverageCase, NoSplitOpt: true},
+		"InitBlend":  {Objective: core.AverageCase, InitBlend: 0.3},
+		"LineTolMs":  {Objective: core.AverageCase, LineTolMs: 1e-2},
+		"Preempt":    {Objective: core.AverageCase, Preempt: preempt.Options{MaxSubsPerInstance: 2}},
+		"Scenarios":  {Objective: core.AverageCase, Scenarios: 5},
+		"Starts":     {Objective: core.AverageCase, Starts: 3},
+		"StartSeed":  {Objective: core.AverageCase, Starts: 3, StartSeed: 77},
+	}
+	seen := map[Key]string{k0: "base"}
+	for name, cfg := range diff {
+		k, ok := ScheduleKey(set, cfg)
+		if !ok {
+			t.Fatalf("%s config not hashable", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s config collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+
+	// A different task set splits the key.
+	set2, err := set.WithRatio(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1, _ := ScheduleKey(set2, base); k1 == k0 {
+		t.Error("different task sets share a key")
+	}
+
+	// An unknown model implementation is not cacheable.
+	if _, ok := ScheduleKey(set, core.Config{Model: unknownModel{}}); ok {
+		t.Error("unknown model hashed as cacheable")
+	}
+}
+
+type unknownModel struct{}
+
+func (unknownModel) CycleTime(v float64) float64            { return 1 / v }
+func (unknownModel) VoltageForCycleTime(tc float64) float64 { return 1 / tc }
+func (unknownModel) VMin() float64                          { return 0.5 }
+func (unknownModel) VMax() float64                          { return 2 }
+
+// TestConfigFieldsGuard pins the field sets the cache key contract was
+// written against. If this test fails, a field was added to core.Config,
+// preempt.Options, or task.Task: decide whether it affects solve results,
+// extend ScheduleKey (and DESIGN.md §6) accordingly, then update the lists.
+func TestConfigFieldsGuard(t *testing.T) {
+	want := map[string][]string{
+		"core.Config": {"Model", "Objective", "MaxSweeps", "Tol", "OptimizeSplits",
+			"NoSplitOpt", "InitBlend", "LineTolMs", "Preempt", "WarmStart",
+			"Scenarios", "ScenarioSeed", "Starts", "StartWorkers", "StartSeed"},
+		"preempt.Options": {"MaxSubsPerInstance", "EDF"},
+		"task.Task":       {"Name", "Period", "WCEC", "ACEC", "BCEC", "Ceff"},
+	}
+	types := map[string]reflect.Type{
+		"core.Config":     reflect.TypeOf(core.Config{}),
+		"preempt.Options": reflect.TypeOf(preempt.Options{}),
+		"task.Task":       reflect.TypeOf(task.Task{}),
+	}
+	for name, typ := range types {
+		var got []string
+		for i := 0; i < typ.NumField(); i++ {
+			got = append(got, typ.Field(i).Name)
+		}
+		if !reflect.DeepEqual(got, want[name]) {
+			t.Errorf("%s fields changed: got %v, want %v — revisit ScheduleKey before updating",
+				name, got, want[name])
+		}
+	}
+}
+
+func TestMemoScheduleHitAndMiss(t *testing.T) {
+	set := testSet(t)
+	memo := NewMemo()
+	r := New(2, memo)
+
+	cfg := core.Config{Objective: core.AverageCase}
+	s1, err := r.BuildSchedule(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.BuildSchedule(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("cache hit returned a different schedule for equal configs")
+	}
+	if st := memo.Stats(); st.ScheduleHits != 1 || st.ScheduleMisses != 1 {
+		t.Errorf("stats after hit: %+v, want 1 hit 1 miss", st)
+	}
+
+	other := cfg
+	other.Tol = 1e-3
+	s3, err := r.BuildSchedule(set, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("differing configs shared a cache entry")
+	}
+	if st := memo.Stats(); st.ScheduleMisses != 2 {
+		t.Errorf("stats after differing config: %+v, want 2 misses", st)
+	}
+
+	// Cache off (nil memo): fresh solves, equal content.
+	bare := New(2, nil)
+	s4, err := bare.BuildSchedule(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 == s1 {
+		t.Error("nil-memo runner returned a cached pointer")
+	}
+	if !reflect.DeepEqual(s4.End, s1.End) || !reflect.DeepEqual(s4.WCWork, s1.WCWork) {
+		t.Error("uncached solve differs from cached solve: solve is not pure")
+	}
+}
+
+func TestMemoPlanHitAndSingleflight(t *testing.T) {
+	set := testSet(t)
+	memo := NewMemo()
+	r := New(4, memo)
+	s, err := r.BuildSchedule(set, core.Config{Objective: core.WorstCase})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := r.CompileSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r.CompileSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("plan cache hit returned a different plan")
+	}
+
+	// Concurrent requests for one uncached key build exactly once.
+	memo2 := NewMemo()
+	r2 := New(8, memo2)
+	var wg sync.WaitGroup
+	got := make([]*core.Schedule, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], _ = r2.BuildSchedule(set, core.Config{Objective: core.AverageCase})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent builds for one key returned distinct schedules")
+		}
+	}
+	if st := memo2.Stats(); st.ScheduleMisses != 1 {
+		t.Errorf("concurrent singleflight built %d times", st.ScheduleMisses)
+	}
+}

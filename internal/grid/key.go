@@ -1,0 +1,209 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// Key is the 256-bit content address of a cacheable artefact: the SHA-256 of
+// a canonical byte encoding of everything the artefact is a pure function
+// of. Equal keys mean equal inputs (collisions are cryptographically
+// negligible), so a memo hit may return the cached artefact verbatim.
+type Key [sha256.Size]byte
+
+// hasher accumulates the canonical encoding. Every primitive is written as
+// fixed-width little-endian bytes (floats by their IEEE-754 bit pattern, so
+// the encoding is exact, not a decimal rendering); strings and slices are
+// length-prefixed so adjacent fields cannot alias.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func newHasher() *hasher { return &hasher{h: sha256.New()} }
+
+func (h *hasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	h.h.Write(h.buf[:])
+}
+
+func (h *hasher) i64(v int64)   { h.u64(uint64(v)) }
+func (h *hasher) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *hasher) flag(v bool) {
+	var b uint64
+	if v {
+		b = 1
+	}
+	h.u64(b)
+}
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	io.WriteString(h.h, s)
+}
+
+func (h *hasher) f64s(xs []float64) {
+	h.u64(uint64(len(xs)))
+	for _, x := range xs {
+		h.f64(x)
+	}
+}
+
+func (h *hasher) sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// taskSet writes the full task-set fingerprint: every field that influences
+// the preemptive expansion, the solver, or the workload distributions.
+func (h *hasher) taskSet(set *task.Set) {
+	h.str("set")
+	h.u64(uint64(len(set.Tasks)))
+	for i := range set.Tasks {
+		t := &set.Tasks[i]
+		h.str(t.Name)
+		h.i64(t.Period)
+		h.f64(t.WCEC)
+		h.f64(t.ACEC)
+		h.f64(t.BCEC)
+		h.f64(t.Ceff)
+	}
+}
+
+// model writes the processor-model identity: the concrete type plus every
+// parameter. It reports false for model implementations it does not know,
+// which makes the enclosing key non-cacheable (the caller then solves
+// directly — correct, just unmemoized). nil hashes as the default model,
+// matching core.Config's defaulting.
+func (h *hasher) model(m power.Model) bool {
+	if m == nil {
+		m = power.DefaultModel()
+	}
+	switch mm := m.(type) {
+	case *power.SimpleInverse:
+		h.str("model:simpleinverse")
+		h.f64(mm.K)
+		h.f64(mm.Vmin)
+		h.f64(mm.Vmax)
+		return true
+	case *power.Alpha:
+		h.str("model:alpha")
+		h.f64(mm.K)
+		h.f64(mm.Vt)
+		h.f64(mm.Aexp)
+		h.f64(mm.Vmin)
+		h.f64(mm.Vmax)
+		return true
+	case *power.Discrete:
+		h.str("model:discrete")
+		if !h.model(mm.Base()) {
+			return false
+		}
+		h.f64s(mm.Levels())
+		return true
+	default:
+		return false
+	}
+}
+
+// schedule writes the full content of a solved schedule: everything
+// sim.Compile (and a WarmStart consumer) reads — the task set, the model,
+// the plan's sub-instance structure, and the solved End/WCWork vectors.
+func (h *hasher) schedule(s *core.Schedule) bool {
+	h.str("sched")
+	h.taskSet(s.Plan.Set)
+	if !h.model(s.Model) {
+		return false
+	}
+	h.u64(uint64(s.Objective))
+	h.u64(uint64(len(s.Plan.Subs)))
+	for i := range s.Plan.Subs {
+		su := &s.Plan.Subs[i]
+		h.i64(int64(su.TaskIndex))
+		h.i64(int64(su.InstanceIndex))
+		h.f64(su.Release)
+		h.f64(su.Deadline)
+	}
+	h.f64s(s.End)
+	h.f64s(s.WCWork)
+	return true
+}
+
+// ScheduleKey returns the content address of core.Build(set, cfg) — the
+// cache-key contract DESIGN.md §6 documents. The key covers the task-set
+// fingerprint, the model identity, and exactly the core.Config fields a
+// solve is a function of: Objective, MaxSweeps, Tol, NoSplitOpt, InitBlend,
+// LineTolMs, Preempt (MaxSubsPerInstance, EDF), Scenarios, ScenarioSeed,
+// Starts, StartSeed (dormant seeds — ScenarioSeed without Scenarios,
+// StartSeed without multi-start — are zeroed so they cannot split keys),
+// and the WarmStart schedule's full content. Excluded by
+// design: StartWorkers (wall-clock only, never the result — pinned by the
+// solver's determinism contract) and OptimizeSplits (derived from NoSplitOpt
+// by the solver's defaulting). Defaulted fields are resolved through
+// core.Config.Canonical first, so a zero config and an explicitly-defaulted
+// one share a key. ok is false when the config cannot be canonically encoded
+// (an unknown model implementation); callers then bypass the memo.
+func ScheduleKey(set *task.Set, cfg core.Config) (Key, bool) {
+	c := cfg.Canonical()
+	h := newHasher()
+	h.str("schedule/v1")
+	h.taskSet(set)
+	if !h.model(c.Model) {
+		return Key{}, false
+	}
+	h.u64(uint64(c.Objective))
+	h.i64(int64(c.MaxSweeps))
+	h.f64(c.Tol)
+	h.flag(c.NoSplitOpt)
+	h.f64(c.InitBlend)
+	h.f64(c.LineTolMs)
+	h.i64(int64(c.Preempt.MaxSubsPerInstance))
+	h.flag(c.Preempt.EDF)
+	// Scenario draws only exist when Scenarios > 0; a dormant ScenarioSeed
+	// must not split keys.
+	scenarios, scenarioSeed := c.Scenarios, c.ScenarioSeed
+	if scenarios <= 0 {
+		scenarios, scenarioSeed = 0, 0
+	}
+	h.i64(int64(scenarios))
+	h.u64(scenarioSeed)
+	// Starts 0 and 1 are both the single-start solver, which never reads
+	// StartSeed — zero it while dormant so it cannot split keys.
+	starts, startSeed := c.Starts, c.StartSeed
+	if starts <= 1 {
+		starts, startSeed = 1, 0
+	}
+	h.i64(int64(starts))
+	h.u64(startSeed)
+	if c.WarmStart != nil {
+		h.str("warm")
+		if !h.schedule(c.WarmStart) {
+			return Key{}, false
+		}
+	}
+	return h.sum(), true
+}
+
+// PlanKey returns the content address of sim.Compile(s): the schedule's full
+// content. ok is false when the schedule's model cannot be canonically
+// encoded.
+func PlanKey(s *core.Schedule) (Key, bool) {
+	if s == nil || s.Plan == nil || s.Plan.Set == nil {
+		return Key{}, false
+	}
+	h := newHasher()
+	h.str("plan/v1")
+	if !h.schedule(s) {
+		return Key{}, false
+	}
+	return h.sum(), true
+}

@@ -1,0 +1,103 @@
+package grid
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Memo is the content-addressed store behind a Runner: solved schedules and
+// compiled plans keyed by their canonical content hash. It is safe for
+// concurrent use; concurrent requests for the same key are collapsed into
+// one build (singleflight), so a worker pool hammering one cell pays for one
+// solve while the rest wait for it.
+//
+// Entries live for the Memo's lifetime — the experiment suite's working set
+// (hundreds of schedules of ~1000 float64 pairs) is far below memory
+// pressure, and eviction would reintroduce the re-solve cost the store
+// exists to remove. Errors are cached alongside values: builds are pure, so
+// a failed (set, config) fails identically every time.
+type Memo struct {
+	mu        sync.Mutex
+	schedules map[Key]*schedEntry
+	plans     map[Key]*planEntry
+
+	schedHits, schedMisses atomic.Int64
+	planHits, planMisses   atomic.Int64
+}
+
+// NewMemo returns an empty store.
+func NewMemo() *Memo {
+	return &Memo{
+		schedules: make(map[Key]*schedEntry),
+		plans:     make(map[Key]*planEntry),
+	}
+}
+
+type schedEntry struct {
+	once sync.Once
+	s    *core.Schedule
+	err  error
+}
+
+type planEntry struct {
+	once sync.Once
+	p    *sim.CompiledPlan
+	err  error
+}
+
+// schedule returns the cached schedule for key, building it exactly once.
+func (m *Memo) schedule(key Key, build func() (*core.Schedule, error)) (*core.Schedule, error) {
+	m.mu.Lock()
+	e, hit := m.schedules[key]
+	if !hit {
+		e = &schedEntry{}
+		m.schedules[key] = e
+	}
+	m.mu.Unlock()
+	if hit {
+		m.schedHits.Add(1)
+	} else {
+		m.schedMisses.Add(1)
+	}
+	e.once.Do(func() { e.s, e.err = build() })
+	return e.s, e.err
+}
+
+// plan returns the cached compiled plan for key, building it exactly once.
+func (m *Memo) plan(key Key, build func() (*sim.CompiledPlan, error)) (*sim.CompiledPlan, error) {
+	m.mu.Lock()
+	e, hit := m.plans[key]
+	if !hit {
+		e = &planEntry{}
+		m.plans[key] = e
+	}
+	m.mu.Unlock()
+	if hit {
+		m.planHits.Add(1)
+	} else {
+		m.planMisses.Add(1)
+	}
+	e.once.Do(func() { e.p, e.err = build() })
+	return e.p, e.err
+}
+
+// Stats is a snapshot of the store's hit accounting. A "miss" is the first
+// request for a key (it pays for the build); every later request for the
+// same key is a "hit" even if it arrived while the build was in flight.
+type Stats struct {
+	ScheduleHits, ScheduleMisses int64
+	PlanHits, PlanMisses         int64
+}
+
+// Stats snapshots the counters.
+func (m *Memo) Stats() Stats {
+	return Stats{
+		ScheduleHits:   m.schedHits.Load(),
+		ScheduleMisses: m.schedMisses.Load(),
+		PlanHits:       m.planHits.Load(),
+		PlanMisses:     m.planMisses.Load(),
+	}
+}

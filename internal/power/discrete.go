@@ -81,6 +81,10 @@ func (d *Discrete) VMax() float64 { return d.levels[len(d.levels)-1] }
 // Levels returns the ascending level set (a copy).
 func (d *Discrete) Levels() []float64 { return append([]float64(nil), d.levels...) }
 
+// Base returns the continuous model the levels quantise. Together with
+// Levels it is the model's full identity, which the grid memo fingerprints.
+func (d *Discrete) Base() Model { return d.base }
+
 // TwoLevelSplit computes the Ishihara–Yasuura (ISLPED'98) optimal execution
 // of a workload on a discrete-level processor: run c1 cycles at the level
 // just below the ideal continuous voltage and cycles−c1 at the level just

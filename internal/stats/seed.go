@@ -25,3 +25,12 @@ func SeedFromString(s string) uint64 {
 func SeedFromCell(n int, ratio float64) uint64 {
 	return SeedFromString(fmt.Sprintf("%d|%g", n, ratio))
 }
+
+// SeedFromApp derives a deterministic seed from an application-sweep cell
+// (application name, BCEC/WCEC ratio) — Fig. 6(b)'s coordinates. The ratio
+// is part of the label so no two cells of an application share workload
+// streams (before PR 3 the derivation keyed on the name alone, feeding every
+// ratio of an app identical draws).
+func SeedFromApp(app string, ratio float64) uint64 {
+	return SeedFromString(fmt.Sprintf("%s|%g", app, ratio))
+}
