@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -27,38 +28,43 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/grid"
 )
 
 func main() {
+	cliutil.Exit("experiments", run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only = flag.String("only", "all",
+		only = fs.String("only", "all",
 			"experiment: all, motivation, fig6a, fig6b, slack, cap, overhead, levels, weighted, crosscheck")
-		sets       = flag.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
-		reps       = flag.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
-		seed       = flag.Uint64("seed", 2005, "master seed")
-		workers    = flag.Int("workers", 0, "grid worker-pool width (0 = GOMAXPROCS; results identical for any value)")
-		starts     = flag.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
-		simWork    = flag.Int("simworkers", 0, "parallel hyper-period simulation workers per sim run (0 = GOMAXPROCS; results identical for any value; harnesses whose per-set grid jobs already saturate the pool — fig6a and the random-set ablations — pin their inner sims serial and ignore this)")
-		cache      = flag.Bool("cache", true, "memoize schedule solves and plan compilations across experiments (results identical either way)")
-		csvDir     = flag.String("csv", "", "directory to write CSV results into")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+		sets       = fs.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
+		reps       = fs.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
+		seed       = fs.Uint64("seed", 2005, "master seed")
+		workers    = fs.Int("workers", 0, "grid worker-pool width (0 = GOMAXPROCS; results identical for any value)")
+		starts     = fs.Int("starts", 0, "solver multi-start count per schedule build (0/1 = single)")
+		simWork    = fs.Int("simworkers", 0, "parallel hyper-period simulation workers per sim run (0 = GOMAXPROCS; results identical for any value; harnesses whose per-set grid jobs already saturate the pool — fig6a and the random-set ablations — pin their inner sims serial and ignore this)")
+		cache      = fs.Bool("cache", true, "memoize schedule solves and plan compilations across experiments (results identical either way)")
+		csvDir     = fs.String("csv", "", "directory to write CSV results into")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the regeneration to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
-	flag.Parse()
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fail(err)
+			return err
 		}
-		// fail() exits through os.Exit, which skips defers; register the
-		// stop so the profile gets its trailer even on a failed run.
-		stopProfile = pprof.StopCPUProfile
 		defer pprof.StopCPUProfile()
 	}
 
@@ -75,27 +81,33 @@ func main() {
 	want := func(name string) bool { return *only == "all" || *only == name }
 	wroteAny := false
 
-	writeCSV := func(name, content string) {
+	banner := func(s string) {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, s)
+		fmt.Fprintln(stdout, strings.Repeat("=", len(s)))
+	}
+	writeCSV := func(name, content string) error {
 		if *csvDir == "" {
-			return
+			return nil
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fail(err)
+			return err
 		}
 		path := filepath.Join(*csvDir, name)
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("  wrote %s\n", path)
+		fmt.Fprintf(stdout, "  wrote %s\n", path)
+		return nil
 	}
 
 	if want("motivation") {
 		banner("E1: motivational example (Table 1 / Figs. 1-2)")
 		r, err := experiments.Motivation()
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(r.Render())
+		fmt.Fprint(stdout, r.Render())
 		wroteAny = true
 	}
 
@@ -104,12 +116,14 @@ func main() {
 		start := time.Now()
 		cells, err := experiments.Fig6a(experiments.Fig6aConfig{Common: common})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.Table(cells, fmt.Sprintf(
+		fmt.Fprint(stdout, experiments.Table(cells, fmt.Sprintf(
 			"Fig. 6(a): ACS improvement over WCS (%d sets x %d hyper-periods per cell, %v)",
 			*sets, *reps, time.Since(start).Round(time.Second))))
-		writeCSV("fig6a.csv", experiments.CSV(cells))
+		if err := writeCSV("fig6a.csv", experiments.CSV(cells)); err != nil {
+			return err
+		}
 		wroteAny = true
 	}
 
@@ -117,10 +131,12 @@ func main() {
 		banner("E3/E4: Fig. 6(b) real-life applications")
 		cells, err := experiments.Fig6b(experiments.Fig6bConfig{Common: common})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.AppTable(cells))
-		writeCSV("fig6b.csv", experiments.AppCSV(cells))
+		fmt.Fprint(stdout, experiments.AppTable(cells))
+		if err := writeCSV("fig6b.csv", experiments.AppCSV(cells)); err != nil {
+			return err
+		}
 		wroteAny = true
 	}
 
@@ -128,9 +144,9 @@ func main() {
 		banner("E5: slack-policy ablation (N=6, ratio 0.1)")
 		cells, err := experiments.SlackPolicyAblation(common, 6, 0.1)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.SlackTable(cells))
+		fmt.Fprint(stdout, experiments.SlackTable(cells))
 		wroteAny = true
 	}
 
@@ -138,9 +154,9 @@ func main() {
 		banner("E6: sub-instance cap ablation (GAP, ratio 0.1)")
 		cells, err := experiments.SubInstanceCapAblation(common, 0.1, nil)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.CapTable(cells))
+		fmt.Fprint(stdout, experiments.CapTable(cells))
 		wroteAny = true
 	}
 
@@ -148,9 +164,9 @@ func main() {
 		banner("E7: voltage-transition overhead ablation (N=6, ratio 0.1)")
 		cells, err := experiments.TransitionOverheadAblation(common, 6, 0.1, nil)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.OverheadTable(cells))
+		fmt.Fprint(stdout, experiments.OverheadTable(cells))
 		wroteAny = true
 	}
 
@@ -158,9 +174,9 @@ func main() {
 		banner("E8: discrete voltage levels ablation (N=6, ratio 0.1)")
 		cells, err := experiments.DiscreteLevelAblation(common, 6, 0.1, nil)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.LevelTable(cells))
+		fmt.Fprint(stdout, experiments.LevelTable(cells))
 		wroteAny = true
 	}
 
@@ -168,9 +184,9 @@ func main() {
 		banner("E10: probability-weighted objective (N=6, ratio 0.1)")
 		cells, err := experiments.WeightedObjectiveAblation(common, 6, 0.1, nil)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(experiments.WeightedTable(cells))
+		fmt.Fprint(stdout, experiments.WeightedTable(cells))
 		wroteAny = true
 	}
 
@@ -178,19 +194,19 @@ func main() {
 		banner("E9: solver cross-check (N=3)")
 		r, err := experiments.SolverCrossCheck(common, 3)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Print(r.Render())
+		fmt.Fprint(stdout, r.Render())
 		wroteAny = true
 	}
 
 	if !wroteAny {
-		fail(fmt.Errorf("unknown experiment %q", *only))
+		return fmt.Errorf("unknown experiment %q", *only)
 	}
 
 	if memo != nil {
 		st := memo.Stats()
-		fmt.Printf("\ngrid cache: %d schedule solves shared %d times, %d plan compiles shared %d times\n",
+		fmt.Fprintf(stdout, "\ngrid cache: %d schedule solves shared %d times, %d plan compiles shared %d times\n",
 			st.ScheduleMisses, st.ScheduleHits, st.PlanMisses, st.PlanHits)
 	}
 
@@ -198,30 +214,13 @@ func main() {
 		runtime.GC()
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fail(err)
+			return err
 		}
+		defer f.Close()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fail(err)
+			return err
 		}
-		f.Close()
-		fmt.Printf("wrote heap profile to %s\n", *memprofile)
+		fmt.Fprintf(stdout, "wrote heap profile to %s\n", *memprofile)
 	}
-}
-
-func banner(s string) {
-	fmt.Println()
-	fmt.Println(s)
-	fmt.Println(strings.Repeat("=", len(s)))
-}
-
-// stopProfile finalises an in-flight CPU profile before a fail() exit.
-var stopProfile func()
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	if stopProfile != nil {
-		stopProfile()
-		stopProfile = nil
-	}
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMotivationWithCacheFooter: the cheapest experiment end-to-end, plus
+// the cache-stats footer the memoized path prints.
+func TestRunMotivationWithCacheFooter(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "motivation"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "E1: motivational example") {
+		t.Errorf("banner missing:\n%s", got)
+	}
+	if !strings.Contains(got, "grid cache:") {
+		t.Errorf("cache-stats footer missing:\n%s", got)
+	}
+}
+
+// TestRunCacheOffOmitsFooter: -cache=false runs without a memo and therefore
+// without the footer.
+func TestRunCacheOffOmitsFooter(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "motivation", "-cache=false"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "grid cache:") {
+		t.Error("cache-stats footer printed despite -cache=false")
+	}
+}
+
+// TestRunCrosscheckWritesNothingToCSVDirWithoutResults: an unknown -only
+// value errors rather than silently writing nothing.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-only", "nope"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunFlagErrors: flag-parse failures surface as errors for main's exit
+// conventions.
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunCSVDirReceivesFiles: a cheap harness with CSV output writes into
+// the requested directory. Uses the motivation experiment's lack of CSV plus
+// crosscheck's absence of CSV — fig6b is the cheapest CSV writer, so trim it
+// to one tiny cell via -sets/-reps.
+func TestRunCSVDirReceivesFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6b regeneration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-only", "fig6b", "-sets", "1", "-reps", "2", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Errorf("no CSV files written to %s:\n%s", dir, out.String())
+	}
+}

@@ -1,0 +1,112 @@
+// Command schedd is the scheduling daemon: it serves the offline ACS/WCS
+// synthesis pipeline as a long-running HTTP/JSON service (internal/server,
+// DESIGN.md §7).
+//
+// Usage:
+//
+//	schedd -addr :8372
+//	schedd -addr :8372 -cachemb 64 -batch 32 -batchwindow 1ms -starts 4
+//
+// Endpoints:
+//
+//	POST /v1/schedules      submit a task set → admission, synthesis,
+//	                        schedule + predicted energy
+//	GET  /v1/schedules/{fp} re-fetch a submitted schedule by fingerprint
+//	POST /v1/compare        simulated ACS-vs-WCS comparison
+//	GET  /v1/stats          cache, batching and request counters
+//	GET  /v1/healthz        liveness
+//
+// Responses to submit/get/compare are byte-deterministic per request body
+// regardless of batch composition, worker count, or cache state; see
+// DESIGN.md §7 for the contract and cmd/schedload for the matching load
+// generator / throughput benchmark.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/server"
+)
+
+func main() {
+	cliutil.Exit("schedd", run(context.Background(), os.Args[1:], os.Stdout, nil))
+}
+
+// run parses flags, binds the listener, and serves until ctx is canceled.
+// When ready is non-nil the bound address is sent to it once the listener is
+// live (the hook the smoke test drives the daemon through).
+func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8372", "listen address")
+		workers     = fs.Int("workers", 0, "grid worker-pool width (0 = GOMAXPROCS; responses identical for any value)")
+		cacheMB     = fs.Int64("cachemb", 256, "schedule/plan cache cap in MiB (LRU eviction; <0 = unbounded)")
+		batch       = fs.Int("batch", 16, "micro-batch size: max requests solved as one grid job set")
+		batchWindow = fs.Duration("batchwindow", 2*time.Millisecond, "micro-batch collection window")
+		starts      = fs.Int("starts", 0, "default solver multi-start count (0/1 = single)")
+		simWorkers  = fs.Int("simworkers", 0, "simulation workers per compare (0 = GOMAXPROCS; responses identical for any value)")
+		simReps     = fs.Int("hyperperiods", 200, "default hyper-periods per compare simulation")
+		maxTasks    = fs.Int("maxtasks", 64, "admission limit on tasks per request")
+	)
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	memoBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		memoBytes = -1
+	}
+	srv := server.New(server.Options{
+		Workers:         *workers,
+		MemoBytes:       memoBytes,
+		BatchSize:       *batch,
+		BatchWindow:     *batchWindow,
+		Starts:          *starts,
+		SimWorkers:      *simWorkers,
+		SimHyperperiods: *simReps,
+		MaxTasks:        *maxTasks,
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "schedd listening on %s (batch %d/%v, cache %d MiB, workers %d)\n",
+		ln.Addr(), *batch, *batchWindow, *cacheMB, *workers)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Cancel in-flight solves *before* waiting on their handlers:
+		// Shutdown blocks until requests drain, and a long solve only stops
+		// at its next sweep boundary once the server's base context fires.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+		err = <-serveErr
+	case err = <-serveErr:
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

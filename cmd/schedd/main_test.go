@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServeAndShutdown boots the daemon on an ephemeral port, drives one
+// request through real HTTP, and shuts it down through context cancellation.
+func TestRunServeAndShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	var out strings.Builder
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{"-addr", "127.0.0.1:0", "-batchwindow", "1ms"}, &out, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/schedules", "application/json",
+		strings.NewReader(`{"tasks":[{"name":"a","period_ms":10,"wcec":4,"acec":2,"bcec":1,"ceff":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit through daemon: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"fingerprint"`) {
+		t.Fatalf("implausible response: %s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("clean shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "schedd listening on") {
+		t.Errorf("startup banner missing: %q", out.String())
+	}
+}
+
+// TestRunFlagErrors: bad invocations fail without binding a listener.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-addr", "127.0.0.1:0", "trailing"},
+		{"-addr", "999.999.999.999:99999"},
+	} {
+		var out strings.Builder
+		if err := run(context.Background(), args, &out, nil); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

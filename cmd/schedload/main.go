@@ -1,0 +1,287 @@
+// Command schedload is the deterministic load generator and throughput
+// benchmark for the scheduling service (cmd/schedd, DESIGN.md §7).
+//
+// It generates a seeded stream of submit requests — a configurable mix of
+// unique and repeated task sets — fires them at a server from N concurrent
+// clients, and reports throughput, latency percentiles and the server's
+// cache statistics as JSON. With no -addr it spins an in-process server, so
+// one invocation doubles as a self-contained benchmark (the numbers pinned
+// in BENCH_serve.json).
+//
+// Because the request stream is seeded and the serving path is
+// byte-deterministic, schedload also verifies the contract as it measures:
+// every repeated body must receive byte-identical response bytes, whatever
+// concurrency, batching, or cache state did in between. A mismatch fails the
+// run.
+//
+// Usage:
+//
+//	schedload -requests 200 -concurrency 8 -unique 0.25 -seed 1
+//	schedload -addr http://localhost:8372 -requests 1000 -concurrency 32
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func main() {
+	cliutil.Exit("schedload", run(os.Args[1:], os.Stdout))
+}
+
+// report is the JSON summary a run prints.
+type report struct {
+	Requests    int     `json:"requests"`
+	UniqueSets  int     `json:"unique_sets"`
+	Concurrency int     `json:"concurrency"`
+	Seed        uint64  `json:"seed"`
+	DurationMs  float64 `json:"duration_ms"`
+	Throughput  float64 `json:"throughput_rps"`
+	LatencyMs   struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"`
+	Errors     int             `json:"errors"`
+	Mismatches int             `json:"determinism_mismatches"`
+	Server     json.RawMessage `json:"server_stats,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("schedload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "server base URL (empty = spin an in-process server)")
+		requests = fs.Int("requests", 200, "total submit requests to fire")
+		conc     = fs.Int("concurrency", 8, "concurrent client goroutines")
+		unique   = fs.Float64("unique", 0.25, "fraction of requests with a unique task set (the rest repeat)")
+		seed     = fs.Uint64("seed", 1, "master seed for task-set generation and the repeat mix")
+		nTasks   = fs.Int("ntasks", 4, "tasks per generated set")
+		ratio    = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio of generated sets")
+		util     = fs.Float64("util", 0.7, "worst-case utilisation of generated sets")
+		workers  = fs.Int("workers", 0, "in-process server: grid worker-pool width")
+		cacheMB  = fs.Int64("cachemb", 256, "in-process server: cache cap in MiB (<0 = unbounded)")
+		batch    = fs.Int("batch", 16, "in-process server: micro-batch size")
+		window   = fs.Duration("batchwindow", 2*time.Millisecond, "in-process server: batch window")
+	)
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if *requests <= 0 || *conc <= 0 {
+		return fmt.Errorf("requests and concurrency must be positive")
+	}
+	if *unique < 0 || *unique > 1 {
+		return fmt.Errorf("unique fraction must lie in [0,1], got %g", *unique)
+	}
+
+	base := *addr
+	if base == "" {
+		memoBytes := *cacheMB << 20
+		if *cacheMB < 0 {
+			memoBytes = -1
+		}
+		srv := server.New(server.Options{
+			Workers: *workers, MemoBytes: memoBytes,
+			BatchSize: *batch, BatchWindow: *window,
+		})
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Shutdown(context.Background())
+		base = "http://" + ln.Addr().String()
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	bodies, uniqueCount, err := buildBodies(*requests, *unique, *seed, workload.RandomConfig{
+		N: *nTasks, Ratio: *ratio, Utilization: *util,
+	})
+	if err != nil {
+		return err
+	}
+
+	// assignment[i] is the body index request i submits: round-robin over
+	// the unique bodies (every body appears, repeats are spread evenly) then
+	// a seeded Fisher–Yates shuffle — the stream is a pure function of the
+	// seed, independent of concurrency.
+	mixRNG := stats.NewRNG(*seed ^ 0x5eed10ad)
+	assignment := make([]int, *requests)
+	for i := range assignment {
+		assignment[i] = i % uniqueCount
+	}
+	for i := len(assignment) - 1; i > 0; i-- {
+		j := int(mixRNG.Uniform(0, float64(i+1)))
+		if j > i {
+			j = i
+		}
+		assignment[i], assignment[j] = assignment[j], assignment[i]
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	latencies := make([]float64, *requests)
+	responses := make([]string, *requests)
+	errCount := 0
+	var errMu sync.Mutex
+
+	start := time.Now()
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/schedules", "application/json",
+					strings.NewReader(bodies[assignment[i]]))
+				lat := time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					errCount++
+					errMu.Unlock()
+					continue
+				}
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					errMu.Lock()
+					errCount++
+					errMu.Unlock()
+					continue
+				}
+				latencies[i] = float64(lat.Nanoseconds()) / 1e6
+				responses[i] = string(b)
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Determinism audit: every request that shared a body must have received
+	// identical bytes.
+	first := make(map[int]string, uniqueCount)
+	mismatches := 0
+	for i, r := range responses {
+		if r == "" {
+			continue
+		}
+		if want, ok := first[assignment[i]]; !ok {
+			first[assignment[i]] = r
+		} else if r != want {
+			mismatches++
+		}
+	}
+
+	rep := &report{
+		Requests:    *requests,
+		UniqueSets:  uniqueCount,
+		Concurrency: *conc,
+		Seed:        *seed,
+		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		Errors:      errCount,
+		Mismatches:  mismatches,
+	}
+	rep.Throughput = float64(*requests-errCount) / elapsed.Seconds()
+	ok := make([]float64, 0, len(latencies))
+	for i, l := range latencies {
+		if responses[i] != "" {
+			ok = append(ok, l)
+		}
+	}
+	sort.Float64s(ok)
+	if len(ok) > 0 {
+		rep.LatencyMs.P50 = percentile(ok, 0.50)
+		rep.LatencyMs.P90 = percentile(ok, 0.90)
+		rep.LatencyMs.P99 = percentile(ok, 0.99)
+		rep.LatencyMs.Max = ok[len(ok)-1]
+	}
+	if resp, err := client.Get(base + "/v1/stats"); err == nil {
+		if b, rerr := io.ReadAll(resp.Body); rerr == nil && resp.StatusCode == http.StatusOK {
+			rep.Server = json.RawMessage(b)
+		}
+		resp.Body.Close()
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d determinism mismatches: identical bodies received different bytes", mismatches)
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d of %d requests failed", errCount, *requests)
+	}
+	return nil
+}
+
+// buildBodies generates the unique request bodies: max(1, requests·unique)
+// distinct feasible task sets drawn from per-set RNG streams split off the
+// master seed.
+func buildBodies(requests int, unique float64, seed uint64, cfg workload.RandomConfig) ([]string, int, error) {
+	count := int(float64(requests)*unique + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > requests {
+		count = requests
+	}
+	master := stats.NewRNG(seed)
+	bodies := make([]string, count)
+	feasible := func(s *task.Set) bool { return core.Feasible(s, core.Config{}) == nil }
+	for i := range bodies {
+		rng := master.Split()
+		set, err := workload.RandomFeasible(rng, cfg, 100, feasible)
+		if err != nil {
+			return nil, 0, fmt.Errorf("generating set %d: %w", i, err)
+		}
+		body, err := json.Marshal(struct {
+			Tasks []task.Task `json:"tasks"`
+		}{set.Tasks})
+		if err != nil {
+			return nil, 0, err
+		}
+		bodies[i] = string(body)
+	}
+	return bodies, count, nil
+}
+
+// percentile returns the p-quantile of sorted xs (nearest-rank).
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(xs))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunInProcess: a small in-process load run completes with zero errors
+// and zero determinism mismatches, and its report parses.
+func TestRunInProcess(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-requests", "12", "-concurrency", "3", "-unique", "0.3",
+		"-seed", "7", "-ntasks", "2", "-batchwindow", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Requests != 12 || rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+	if rep.UniqueSets < 1 || rep.UniqueSets > 12 {
+		t.Errorf("unique set count out of range: %d", rep.UniqueSets)
+	}
+	if rep.Throughput <= 0 || rep.LatencyMs.Max <= 0 {
+		t.Errorf("missing measurements: %+v", rep)
+	}
+	if len(rep.Server) == 0 {
+		t.Error("server stats not captured")
+	}
+}
+
+// TestBuildBodiesDeterministic: the generated request stream is a pure
+// function of its seed.
+func TestBuildBodiesDeterministic(t *testing.T) {
+	gen := func() []string {
+		bodies, n, err := buildBodies(20, 0.25, 42,
+			workload.RandomConfig{N: 3, Ratio: 0.5, Utilization: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 5 {
+			t.Fatalf("want 5 unique bodies, got %d", n)
+		}
+		return bodies
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("body %d differs across equal seeds", i)
+		}
+	}
+	seen := map[string]bool{}
+	for _, body := range a {
+		if seen[body] {
+			t.Fatal("duplicate unique bodies")
+		}
+		seen[body] = true
+	}
+}
+
+// TestRunFlagErrors: invalid invocations fail fast.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-requests", "0"},
+		{"-unique", "1.5"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

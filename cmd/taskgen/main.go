@@ -3,17 +3,23 @@
 // scaled to a target worst-case utilisation, BCEC/WCEC fixed at a given
 // ratio.
 //
+// Output is a pure function of the flags: equal seeds emit identical bytes,
+// so generated sets are reproducible fixtures for the other front-ends
+// (acsched, dvssim, schedload).
+//
 // Usage:
 //
 //	taskgen -n 6 -ratio 0.1 -util 0.7 -seed 42 > taskset.json
+//	taskgen -n 4 -count 10 -seed 7 | dvssim
 package main
 
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -21,18 +27,25 @@ import (
 )
 
 func main() {
+	cliutil.Exit("taskgen", run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("taskgen", flag.ContinueOnError)
 	var (
-		n     = flag.Int("n", 6, "number of tasks")
-		ratio = flag.Float64("ratio", 0.5, "BCEC/WCEC ratio in [0,1]")
-		util  = flag.Float64("util", 0.7, "worst-case utilisation at max speed")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		count = flag.Int("count", 1, "number of task sets to emit (JSON stream)")
-		feas  = flag.Bool("feasible", true, "draw until the set is schedulable at Vmax")
+		n     = fs.Int("n", 6, "number of tasks")
+		ratio = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio in [0,1]")
+		util  = fs.Float64("util", 0.7, "worst-case utilisation at max speed")
+		seed  = fs.Uint64("seed", 1, "generator seed")
+		count = fs.Int("count", 1, "number of task sets to emit (JSON stream)")
+		feas  = fs.Bool("feasible", true, "draw until the set is schedulable at Vmax")
 	)
-	flag.Parse()
+	if err := cliutil.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	rng := stats.NewRNG(*seed)
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 
 	filter := func(s *task.Set) bool {
@@ -45,12 +58,11 @@ func main() {
 		cfg := workload.RandomConfig{N: *n, Ratio: *ratio, Utilization: *util}
 		set, err := workload.RandomFeasible(rng, cfg, 100, filter)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "taskgen:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := enc.Encode(set); err != nil {
-			fmt.Fprintln(os.Stderr, "taskgen:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }

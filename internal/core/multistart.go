@@ -65,6 +65,14 @@ func solveMultiStart(plan *preempt.Schedule, c Config) (*Schedule, error) {
 	}
 	wg.Wait()
 
+	// Cancellation is authoritative: starts that finished before the context
+	// fired must not produce a timing-dependent "best of the survivors".
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
 	var best *Schedule
 	bestObj := 0.0
 	var firstErr error

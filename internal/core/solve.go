@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -63,6 +64,13 @@ type Config struct {
 	StartWorkers int
 	// StartSeed seeds the per-start blend jitter streams (default 2005).
 	StartSeed uint64
+
+	// ctx, when non-nil, lets a long solve abort early: the sweep loop
+	// checks it between coordinate-descent sweeps and returns ctx's error.
+	// It is set only through BuildContext/SolveContext (callers cannot
+	// reach it), scopes the work rather than the result, and is therefore
+	// excluded from the grid cache key by construction.
+	ctx context.Context
 }
 
 func (c *Config) withDefaults() Config {
@@ -113,6 +121,16 @@ func Build(set *task.Set, cfg Config) (*Schedule, error) {
 	return Solve(plan, cfg)
 }
 
+// BuildContext is Build with early cancellation: once ctx is done the solver
+// stops at the next sweep boundary (every start of a multi-start solve checks
+// independently) and returns ctx's error instead of a schedule. ctx never
+// influences the result of a completed solve — a build that finishes is
+// bit-identical to one run without a context.
+func BuildContext(ctx context.Context, set *task.Set, cfg Config) (*Schedule, error) {
+	cfg.ctx = ctx
+	return Build(set, cfg)
+}
+
 // Solve computes the static schedule over an existing fully-preemptive plan.
 // With Config.Starts > 1 it dispatches to the parallel multi-start driver.
 func Solve(plan *preempt.Schedule, cfg Config) (*Schedule, error) {
@@ -122,6 +140,12 @@ func Solve(plan *preempt.Schedule, cfg Config) (*Schedule, error) {
 	}
 	s, _, err := solveSingle(plan, c)
 	return s, err
+}
+
+// SolveContext is Solve with the cancellation semantics of BuildContext.
+func SolveContext(ctx context.Context, plan *preempt.Schedule, cfg Config) (*Schedule, error) {
+	cfg.ctx = ctx
+	return Solve(plan, cfg)
 }
 
 // solveSingle runs one coordinate-descent solve from c's starting point.
@@ -147,7 +171,10 @@ func solveSingle(plan *preempt.Schedule, c Config) (*Schedule, float64, error) {
 	if err := s.initialize(c, ws); err != nil {
 		return nil, 0, err
 	}
-	obj := s.optimize(c, ws)
+	obj, err := s.optimize(c, ws)
+	if err != nil {
+		return nil, 0, err
+	}
 	s.Energy = s.ObjectiveEnergy()
 
 	if warm := c.WarmStart; warmCompatible(warm, plan) {
@@ -161,7 +188,10 @@ func solveSingle(plan *preempt.Schedule, c Config) (*Schedule, float64, error) {
 		}
 		alt.initFastModel()
 		deriveAvgWork(plan, alt.WCWork, alt.AvgWork)
-		altObj := alt.optimize(c, ws)
+		altObj, altErr := alt.optimize(c, ws)
+		if altErr != nil {
+			return nil, 0, altErr
+		}
 		alt.Energy = alt.ObjectiveEnergy()
 		if altObj < obj && alt.Verify(1e-6*math.Max(1, plan.Hyperperiod)) == nil {
 			alt.Sweeps += s.Sweeps
@@ -373,8 +403,10 @@ func (s *Schedule) alapEnds(dst []float64) []float64 {
 // optimize runs alternating coordinate-descent sweeps over end-times and
 // workload splits until the objective stops improving, returning the final
 // objective value (the scenario mean when Config.Scenarios is active,
-// otherwise the point objective).
-func (s *Schedule) optimize(c Config, ws *workspace) float64 {
+// otherwise the point objective). A non-nil Config.ctx is polled between
+// sweeps: once it is done, optimize stops and returns its error — the only
+// way a solve's outcome can depend on the context.
+func (s *Schedule) optimize(c Config, ws *workspace) (float64, error) {
 	var sc *scenarioSet
 	if c.Scenarios > 0 && s.Objective == AverageCase {
 		sc = s.buildScenarios(c.Scenarios, c.ScenarioSeed|1)
@@ -383,6 +415,11 @@ func (s *Schedule) optimize(c Config, ws *workspace) float64 {
 	prevObj := ws.ev.full()
 	obj := prevObj
 	for sweep := 0; sweep < c.MaxSweeps; sweep++ {
+		if c.ctx != nil {
+			if err := c.ctx.Err(); err != nil {
+				return obj, err
+			}
+		}
 		// Alternate sweep directions: a forward pass tightens each end
 		// against its successor's current position, so on tightly coupled
 		// chains (every end at its chain cap) nothing can move until the
@@ -400,7 +437,7 @@ func (s *Schedule) optimize(c Config, ws *workspace) float64 {
 		}
 		prevObj = obj
 	}
-	return obj
+	return obj, nil
 }
 
 // sweepEnds optimises each end-time in turn by golden-section search over
@@ -512,11 +549,42 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet, ws *workspace) {
 	ev := &ws.ev
 	ev.reset(s, sc)
 
+	// caps[pos] is the latest end the alive pieces at [pos, n) allow their
+	// predecessor — the nextCap recursion of sweepEnds evaluated on the live
+	// state. It bounds where a revived piece may place its end; recomputed
+	// behind every accepted transfer (budgets move, and a revival moves an
+	// end). The array is borrowed from the workspace — sweepEnds rebuilds it
+	// on entry.
+	n := len(plan.Subs)
+	caps := ws.nextCap
+	recap := func() {
+		caps[n] = math.Inf(1)
+		for pos := n - 1; pos >= 0; pos-- {
+			if s.WCWork[pos] > deadWork {
+				caps[pos] = math.Max(plan.Subs[pos].Release, s.End[pos]-s.WCWork[pos]*tcMax)
+			} else {
+				caps[pos] = caps[pos+1]
+			}
+		}
+	}
+	recap()
+
+	// limitFor is the latest time piece pos may end: its static end capped
+	// by its deadline while alive. A dead piece's bookkeeping end is
+	// meaningless — it may sit past the deadline (see sweepEnds) — so a
+	// piece a transfer would revive is instead bounded by its deadline and
+	// its successors' chain cap, which is also where the revival re-places
+	// its end.
+	limitFor := func(pos int) float64 {
+		if s.WCWork[pos] <= deadWork {
+			return math.Min(plan.Subs[pos].Deadline, caps[pos+1])
+		}
+		return math.Min(s.End[pos], plan.Subs[pos].Deadline)
+	}
+
 	// chainSlack is how many extra worst-case cycles piece pos could absorb
-	// at Vmax within its current window. The window runs from the later of
-	// its release and the previous *work-bearing* end to the earlier of its
-	// static end and deadline (a dead piece's bookkeeping end may sit past
-	// its deadline and must not count as capacity).
+	// at Vmax within its window, which runs from the later of its release
+	// and the previous *work-bearing* end to limitFor.
 	chainSlack := func(pos int) float64 {
 		prevEnd := 0.0
 		for p := pos - 1; p >= 0; p-- {
@@ -525,8 +593,7 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet, ws *workspace) {
 				break
 			}
 		}
-		limit := math.Min(s.End[pos], plan.Subs[pos].Deadline)
-		window := limit - math.Max(prevEnd, plan.Subs[pos].Release)
+		window := limitFor(pos) - math.Max(prevEnd, plan.Subs[pos].Release)
 		return window/tcMax - s.WCWork[pos]
 	}
 
@@ -561,28 +628,43 @@ func (s *Schedule) sweepSplits(c Config, sc *scenarioSet, ws *workspace) {
 		positions := plan.ByInstance[p.idx]
 		stable := positions[len(positions)-1] + 1
 		wa, wb := s.WCWork[p.pa], s.WCWork[p.pb]
-		eval := func(d float64) float64 {
+		ea, eb := s.End[p.pa], s.End[p.pb]
+		limA, limB := limitFor(p.pa), limitFor(p.pb)
+		// apply installs the trial state for transfer d. A transfer that
+		// revives a dead piece re-places its end at the window limit the
+		// slack bound was computed against — the stale bookkeeping end may
+		// sit past the deadline and must be neither kept (it would violate
+		// constraint (7)) nor credited with energy by the evaluation below.
+		apply := func(d float64) {
 			s.WCWork[p.pa] = wa + d
 			s.WCWork[p.pb] = wb - d
+			s.End[p.pa] = ea
+			if wa <= deadWork && s.WCWork[p.pa] > deadWork {
+				s.End[p.pa] = limA
+			}
+			s.End[p.pb] = eb
+			if wb <= deadWork && s.WCWork[p.pb] > deadWork {
+				s.End[p.pb] = limB
+			}
 			rederive(p.idx)
+		}
+		eval := func(d float64) float64 {
+			apply(d)
 			return ev.energyFrom(p.pa, stable)
 		}
 		base := eval(0)
 		best, bestF := opt.GoldenMin(eval, dLo, dHi, 1e-6*(dHi-dLo)+1e-12, 200)
 		changed := bestF < base-1e-15
 		if changed {
-			s.WCWork[p.pa] = wa + best
-			s.WCWork[p.pb] = wb - best
-		} else {
-			s.WCWork[p.pa] = wa
-			s.WCWork[p.pb] = wb
-		}
-		rederive(p.idx)
-		if changed {
+			apply(best)
 			// Refresh the memo behind the committed transfer so later pairs
 			// (whose dirty regions may end before this instance's last
-			// position) can still exit into consistent entries.
+			// position) can still exit into consistent entries, and refresh
+			// the chain caps — budgets moved, and a revival moved an end.
 			ev.resnap(p.pa, stable)
+			recap()
+		} else {
+			apply(0)
 		}
 	}
 }

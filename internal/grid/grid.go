@@ -24,6 +24,7 @@
 package grid
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -140,15 +141,24 @@ func CollectErr[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error)
 // to a direct solve. The returned schedule may be shared — treat it as
 // immutable.
 func (r *Runner) BuildSchedule(set *task.Set, cfg core.Config) (*core.Schedule, error) {
+	return r.BuildScheduleContext(context.Background(), set, cfg)
+}
+
+// BuildScheduleContext is BuildSchedule with early cancellation: the solve
+// aborts between coordinate-descent sweeps once ctx is done and returns
+// ctx's error. A cancelled build is never cached (the memo drops it), so an
+// abandoned request cannot poison the key for later callers. ctx does not
+// enter the cache key — it scopes the work, never the result.
+func (r *Runner) BuildScheduleContext(ctx context.Context, set *task.Set, cfg core.Config) (*core.Schedule, error) {
 	if r.memo == nil {
-		return core.Build(set, cfg)
+		return core.BuildContext(ctx, set, cfg)
 	}
 	key, ok := ScheduleKey(set, cfg)
 	if !ok {
-		return core.Build(set, cfg)
+		return core.BuildContext(ctx, set, cfg)
 	}
-	return r.memo.schedule(key, func() (*core.Schedule, error) {
-		return core.Build(set, cfg)
+	return r.memo.schedule(ctx, key, func() (*core.Schedule, error) {
+		return core.BuildContext(ctx, set, cfg)
 	})
 }
 

@@ -179,9 +179,12 @@ func (unknownModel) VMax() float64                          { return 2 }
 // extend ScheduleKey (and DESIGN.md §6) accordingly, then update the lists.
 func TestConfigFieldsGuard(t *testing.T) {
 	want := map[string][]string{
+		// ctx is excluded from ScheduleKey by design: it scopes the work
+		// (cancellation), never the result, and cancelled builds are not
+		// cached at all.
 		"core.Config": {"Model", "Objective", "MaxSweeps", "Tol", "OptimizeSplits",
 			"NoSplitOpt", "InitBlend", "LineTolMs", "Preempt", "WarmStart",
-			"Scenarios", "ScenarioSeed", "Starts", "StartWorkers", "StartSeed"},
+			"Scenarios", "ScenarioSeed", "Starts", "StartWorkers", "StartSeed", "ctx"},
 		"preempt.Options": {"MaxSubsPerInstance", "EDF"},
 		"task.Task":       {"Name", "Period", "WCEC", "ACEC", "BCEC", "Ceff"},
 	}

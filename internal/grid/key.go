@@ -3,6 +3,7 @@ package grid
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"hash"
 	"io"
 	"math"
@@ -17,6 +18,10 @@ import (
 // of. Equal keys mean equal inputs (collisions are cryptographically
 // negligible), so a memo hit may return the cached artefact verbatim.
 type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex — the wire form internal/server
+// uses as a schedule fingerprint.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
 // hasher accumulates the canonical encoding. Every primitive is written as
 // fixed-width little-endian bytes (floats by their IEEE-754 bit pattern, so

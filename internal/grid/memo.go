@@ -1,6 +1,9 @@
 package grid
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -14,21 +17,36 @@ import (
 // one build (singleflight), so a worker pool hammering one cell pays for one
 // solve while the rest wait for it.
 //
-// Entries live for the Memo's lifetime — the experiment suite's working set
-// (hundreds of schedules of ~1000 float64 pairs) is far below memory
-// pressure, and eviction would reintroduce the re-solve cost the store
-// exists to remove. Errors are cached alongside values: builds are pure, so
-// a failed (set, config) fails identically every time.
+// Capacity: a Memo constructed with NewMemo is unbounded — right for a batch
+// regeneration, whose working set is known and finite. A resident daemon
+// (cmd/schedd) must instead bound the store with NewBoundedMemo: entries are
+// charged an estimated byte cost when their build completes, kept in
+// least-recently-used order, and evicted from the cold end whenever the
+// resident total exceeds the cap. Eviction removes only the store's
+// reference — callers already holding an evicted schedule or plan keep a
+// valid immutable value — and never changes results, only hit rates: builds
+// are pure functions of their key, so a re-miss rebuilds the identical
+// artefact (pinned by TestBoundedMemoEvictionIdentity).
+//
+// Errors are cached alongside values: builds are pure, so a failed (set,
+// config) fails identically every time. The one exception is cancellation —
+// a build that fails with context.Canceled or context.DeadlineExceeded
+// reflects the caller's lifetime, not the key's content, so it is dropped
+// from the store immediately and the next request rebuilds.
 type Memo struct {
 	mu        sync.Mutex
 	schedules map[Key]*schedEntry
 	plans     map[Key]*planEntry
+	capBytes  int64 // <= 0: unbounded
+	usedBytes int64
+	lru       list.List // of *lruItem; front = most recently used
 
 	schedHits, schedMisses atomic.Int64
 	planHits, planMisses   atomic.Int64
+	evictions              atomic.Int64
 }
 
-// NewMemo returns an empty store.
+// NewMemo returns an empty unbounded store.
 func NewMemo() *Memo {
 	return &Memo{
 		schedules: make(map[Key]*schedEntry),
@@ -36,43 +54,79 @@ func NewMemo() *Memo {
 	}
 }
 
+// NewBoundedMemo returns an empty store that evicts least-recently-used
+// entries once the estimated resident bytes exceed capBytes. A non-positive
+// capBytes means unbounded (identical to NewMemo).
+func NewBoundedMemo(capBytes int64) *Memo {
+	m := NewMemo()
+	m.capBytes = capBytes
+	return m
+}
+
+// lruItem is one resident entry's seat in the eviction order.
+type lruItem struct {
+	key   Key
+	plan  bool // which map the key lives in
+	bytes int64
+}
+
 type schedEntry struct {
 	once sync.Once
 	s    *core.Schedule
 	err  error
+	elem *list.Element // guarded by Memo.mu; nil until admitted or after eviction
 }
 
 type planEntry struct {
 	once sync.Once
 	p    *sim.CompiledPlan
 	err  error
+	elem *list.Element // guarded by Memo.mu; nil until admitted or after eviction
 }
 
-// schedule returns the cached schedule for key, building it exactly once.
-func (m *Memo) schedule(key Key, build func() (*core.Schedule, error)) (*core.Schedule, error) {
-	m.mu.Lock()
-	e, hit := m.schedules[key]
-	if !hit {
-		e = &schedEntry{}
-		m.schedules[key] = e
+// schedule returns the cached schedule for key, building it exactly once
+// while resident. ctx is the *requester's* context: a waiter that receives a
+// cancellation error from an entry some other caller's context tore down
+// retries against a fresh entry (under its own build closure) as long as its
+// own context is live, so one client abandoning a shared solve can never
+// surface as an error to the clients still waiting on it.
+func (m *Memo) schedule(ctx context.Context, key Key, build func() (*core.Schedule, error)) (*core.Schedule, error) {
+	for {
+		m.mu.Lock()
+		e, hit := m.schedules[key]
+		if !hit {
+			e = &schedEntry{}
+			m.schedules[key] = e
+		} else if e.elem != nil {
+			m.lru.MoveToFront(e.elem)
+		}
+		m.mu.Unlock()
+		if hit {
+			m.schedHits.Add(1)
+		} else {
+			m.schedMisses.Add(1)
+		}
+		e.once.Do(func() {
+			e.s, e.err = build()
+			m.admitSchedule(key, e)
+		})
+		if uncacheable(e.err) && ctx != nil && ctx.Err() == nil {
+			continue // victim of another requester's cancellation
+		}
+		return e.s, e.err
 	}
-	m.mu.Unlock()
-	if hit {
-		m.schedHits.Add(1)
-	} else {
-		m.schedMisses.Add(1)
-	}
-	e.once.Do(func() { e.s, e.err = build() })
-	return e.s, e.err
 }
 
-// plan returns the cached compiled plan for key, building it exactly once.
+// plan returns the cached compiled plan for key, building it exactly once
+// while resident.
 func (m *Memo) plan(key Key, build func() (*sim.CompiledPlan, error)) (*sim.CompiledPlan, error) {
 	m.mu.Lock()
 	e, hit := m.plans[key]
 	if !hit {
 		e = &planEntry{}
 		m.plans[key] = e
+	} else if e.elem != nil {
+		m.lru.MoveToFront(e.elem)
 	}
 	m.mu.Unlock()
 	if hit {
@@ -80,24 +134,140 @@ func (m *Memo) plan(key Key, build func() (*sim.CompiledPlan, error)) (*sim.Comp
 	} else {
 		m.planMisses.Add(1)
 	}
-	e.once.Do(func() { e.p, e.err = build() })
+	e.once.Do(func() {
+		e.p, e.err = build()
+		m.admitPlan(key, e)
+	})
 	return e.p, e.err
 }
 
-// Stats is a snapshot of the store's hit accounting. A "miss" is the first
-// request for a key (it pays for the build); every later request for the
-// same key is a "hit" even if it arrived while the build was in flight.
+// uncacheable reports build errors that reflect the requesting caller's
+// lifetime rather than the key's content; caching one would poison the key
+// for every later caller.
+func uncacheable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// admitSchedule accounts a completed build into the LRU order (or drops a
+// canceled one) and evicts past the cap.
+func (m *Memo) admitSchedule(key Key, e *schedEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if uncacheable(e.err) {
+		if m.schedules[key] == e {
+			delete(m.schedules, key)
+		}
+		return
+	}
+	if m.schedules[key] != e {
+		return // already evicted and re-requested under a fresh entry
+	}
+	e.elem = m.lru.PushFront(&lruItem{key: key, bytes: scheduleBytes(e.s)})
+	m.usedBytes += e.elem.Value.(*lruItem).bytes
+	m.evict()
+}
+
+// admitPlan is admitSchedule for the plan side.
+func (m *Memo) admitPlan(key Key, e *planEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if uncacheable(e.err) {
+		if m.plans[key] == e {
+			delete(m.plans, key)
+		}
+		return
+	}
+	if m.plans[key] != e {
+		return
+	}
+	e.elem = m.lru.PushFront(&lruItem{key: key, plan: true, bytes: planBytes(e.p)})
+	m.usedBytes += e.elem.Value.(*lruItem).bytes
+	m.evict()
+}
+
+// evict drops cold entries until the resident total fits the cap. Entries
+// still building are not in the LRU order yet and cannot be chosen. Called
+// with m.mu held.
+func (m *Memo) evict() {
+	if m.capBytes <= 0 {
+		return
+	}
+	for m.usedBytes > m.capBytes {
+		back := m.lru.Back()
+		if back == nil {
+			return
+		}
+		it := back.Value.(*lruItem)
+		m.lru.Remove(back)
+		m.usedBytes -= it.bytes
+		if it.plan {
+			if e, ok := m.plans[it.key]; ok {
+				e.elem = nil
+				delete(m.plans, it.key)
+			}
+		} else {
+			if e, ok := m.schedules[it.key]; ok {
+				e.elem = nil
+				delete(m.schedules, it.key)
+			}
+		}
+		m.evictions.Add(1)
+	}
+}
+
+// scheduleBytes estimates the resident cost of a cached schedule: the solved
+// vectors, the derived average workloads, and the preemptive plan it pins
+// (sub-instances, instances, per-instance position lists). The estimate is
+// for eviction accounting only — it need not be exact, just proportional.
+func scheduleBytes(s *core.Schedule) int64 {
+	const entryOverhead = 512 // entry, map slot, LRU seat, struct headers
+	if s == nil || s.Plan == nil {
+		return entryOverhead
+	}
+	n := int64(len(s.Plan.Subs))
+	inst := int64(len(s.Plan.Instances))
+	return entryOverhead +
+		n*(3*8+64) + // End/WCWork/AvgWork + preempt.Sub
+		inst*(32+8) // instance records + ByInstance positions
+}
+
+// planBytes estimates the resident cost of a cached compiled plan: eleven
+// per-piece float/index columns plus three per-instance parameter columns.
+func planBytes(p *sim.CompiledPlan) int64 {
+	const entryOverhead = 512
+	if p == nil {
+		return entryOverhead
+	}
+	return entryOverhead + int64(p.Pieces())*(10*8+4) + int64(p.Instances())*3*8
+}
+
+// Stats is a snapshot of the store's accounting. A "miss" is the first
+// request for a key while no entry is resident (it pays for the build); every
+// later request for the same resident key is a "hit" even if it arrived while
+// the build was in flight. Eviction returns a key to the miss-on-next-request
+// state without ever changing what that request returns.
 type Stats struct {
 	ScheduleHits, ScheduleMisses int64
 	PlanHits, PlanMisses         int64
+	// Evictions counts entries dropped to respect the byte cap.
+	Evictions int64
+	// BytesUsed is the estimated resident size of all completed entries;
+	// BytesCap is the configured cap (0 = unbounded).
+	BytesUsed, BytesCap int64
 }
 
 // Stats snapshots the counters.
 func (m *Memo) Stats() Stats {
+	m.mu.Lock()
+	used, capB := m.usedBytes, m.capBytes
+	m.mu.Unlock()
 	return Stats{
 		ScheduleHits:   m.schedHits.Load(),
 		ScheduleMisses: m.schedMisses.Load(),
 		PlanHits:       m.planHits.Load(),
 		PlanMisses:     m.planMisses.Load(),
+		Evictions:      m.evictions.Load(),
+		BytesUsed:      used,
+		BytesCap:       capB,
 	}
 }

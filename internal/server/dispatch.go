@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// The micro-batching dispatcher.
+//
+// Every solving request (submit, get, compare) becomes one job. The
+// dispatcher collects jobs until either BatchSize are pending or BatchWindow
+// has elapsed since the batch opened, then dispatches the batch as one
+// index-addressed grid job set: jobs are grouped by content fingerprint
+// (singleflight — concurrent identical requests share one pipeline
+// execution) and the unique groups are drained by the runner's bounded
+// worker pool. Batches dispatch asynchronously, so a slow solve never blocks
+// the collection of the next batch.
+//
+// Batching is invisible in responses: each group's result is a pure function
+// of its fingerprint (the solve itself goes through the content-addressed
+// memo), so which requests happened to share a batch — or a group — can
+// never change any response byte. What batching buys is scheduling: one pool
+// drains the whole burst in index order instead of the Go scheduler
+// interleaving hundreds of independent handler goroutines through the
+// solver.
+
+// job is one request's seat in a batch.
+type job struct {
+	key string
+	ctx context.Context
+	do  func(ctx context.Context) any
+	out chan any // buffered(1); receives the group result exactly once
+}
+
+type dispatcher struct {
+	jobs      chan *job
+	base      context.Context
+	runner    *grid.Runner
+	batchSize int
+	window    time.Duration
+
+	batches   atomic.Int64 // dispatched batches
+	coalesced atomic.Int64 // jobs that shared a group with an earlier job
+}
+
+func newDispatcher(base context.Context, runner *grid.Runner, batchSize int, window time.Duration) *dispatcher {
+	d := &dispatcher{
+		jobs:      make(chan *job),
+		base:      base,
+		runner:    runner,
+		batchSize: batchSize,
+		window:    window,
+	}
+	go d.loop()
+	return d
+}
+
+// run enqueues a job keyed by its content fingerprint and waits for the
+// result. Identical keys in one batch share one execution; across batches
+// the content-addressed memo provides the same guarantee one level down.
+func (d *dispatcher) run(ctx context.Context, key string, do func(ctx context.Context) any) (any, error) {
+	j := &job{key: key, ctx: ctx, do: do, out: make(chan any, 1)}
+	select {
+	case d.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-d.base.Done():
+		return nil, d.base.Err()
+	}
+	select {
+	case v := <-j.out:
+		return v, nil
+	case <-ctx.Done():
+		// The abandoned group keeps running only until its joined context
+		// (all requesters gone) fires; the buffered channel lets it deliver
+		// without leaking.
+		return nil, ctx.Err()
+	}
+}
+
+func (d *dispatcher) loop() {
+	for {
+		var first *job
+		select {
+		case first = <-d.jobs:
+		case <-d.base.Done():
+			return
+		}
+		batch := []*job{first}
+		timer := time.NewTimer(d.window)
+	collect:
+		for len(batch) < d.batchSize {
+			select {
+			case j := <-d.jobs:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			case <-d.base.Done():
+				break collect // dispatch what we have; solves see the canceled base
+			}
+		}
+		timer.Stop()
+		d.dispatch(batch)
+	}
+}
+
+// dispatch groups the batch by key and drains the unique groups through the
+// grid pool, asynchronously.
+func (d *dispatcher) dispatch(batch []*job) {
+	order := make([]string, 0, len(batch))
+	groups := make(map[string][]*job, len(batch))
+	for _, j := range batch {
+		if _, ok := groups[j.key]; !ok {
+			order = append(order, j.key)
+		}
+		groups[j.key] = append(groups[j.key], j)
+	}
+	d.batches.Add(1)
+	d.coalesced.Add(int64(len(batch) - len(order)))
+	go d.runner.ForEach(len(order), func(i int) {
+		jobs := groups[order[i]]
+		ctxs := make([]context.Context, len(jobs))
+		for k, j := range jobs {
+			ctxs[k] = j.ctx
+		}
+		ctx, cancel := joinContexts(d.base, ctxs)
+		res := jobs[0].do(ctx)
+		cancel()
+		for _, j := range jobs {
+			j.out <- res
+		}
+	})
+}
+
+// joinContexts derives a context that is canceled when base is done or when
+// every member context is done — the lifetime of a coalesced solve: it must
+// stop only once *all* requests waiting on it have been abandoned, not when
+// the first one goes away.
+func joinContexts(base context.Context, members []context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(base)
+	go func() {
+		for _, m := range members {
+			select {
+			case <-m.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+	return ctx, cancel
+}

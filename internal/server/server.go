@@ -1,0 +1,604 @@
+// Package server turns the offline ACS/WCS synthesis pipeline into a
+// long-running scheduling service (DESIGN.md §7): clients submit task sets
+// over HTTP/JSON and receive an admission check, a solved static voltage
+// schedule, and predicted energies; previously submitted schedules can be
+// fetched again by fingerprint, and an ACS-vs-WCS simulated comparison is
+// available per set.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/schedules      submit a task set → admission + synthesis
+//	GET  /v1/schedules/{fp} re-fetch a submitted schedule by fingerprint
+//	POST /v1/compare        simulated ACS vs WCS comparison for a task set
+//	GET  /v1/stats          cache, batching and request counters
+//	GET  /v1/healthz        liveness probe
+//
+// Determinism contract: the response body of every submit, get and compare
+// request is a pure function of the request body — byte-identical regardless
+// of batch composition, worker count, or cache state (the /v1/stats and
+// /v1/healthz endpoints report operational state and are exempt). This
+// extends the grid engine's determinism contract (DESIGN.md §6) to the
+// serving path and is pinned by TestServerConcurrentDeterminism.
+//
+// Requests are coalesced by a micro-batching dispatcher (collect up to
+// BatchSize requests or BatchWindow, whichever first) and deduplicated by
+// content fingerprint, so a thundering herd submitting the same task set
+// pays for one solve; the shared grid.Memo behind the runner is bounded
+// (LRU, byte-accounted), so a resident daemon's cache cannot grow without
+// limit.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Options configures a Server. The zero value selects sensible daemon
+// defaults.
+type Options struct {
+	// Workers is the grid worker-pool width (0 = GOMAXPROCS). Responses
+	// never depend on it.
+	Workers int
+	// MemoBytes caps the shared schedule/plan cache (estimated resident
+	// bytes, LRU eviction). 0 selects the 256 MiB default; negative means
+	// unbounded (not recommended for a resident daemon).
+	MemoBytes int64
+	// BatchSize is the micro-batching dispatcher's maximum batch (default
+	// 16): the dispatcher collects up to this many requests, or for
+	// BatchWindow, whichever fills first, then solves the batch as one
+	// index-addressed grid job set.
+	BatchSize int
+	// BatchWindow is the micro-batch collection deadline (default 2ms).
+	BatchWindow time.Duration
+	// Starts is the default solver multi-start count for requests that do
+	// not set their own (0/1 = single start).
+	Starts int
+	// SimHyperperiods is the default hyper-period count for /v1/compare
+	// (default 200).
+	SimHyperperiods int
+	// SimWorkers shards each comparison simulation (0 = GOMAXPROCS;
+	// results are bit-identical for any value).
+	SimWorkers int
+	// MaxTasks bounds the admission check: task sets larger than this are
+	// rejected before any solving (default 64).
+	MaxTasks int
+	// StoreLimit bounds how many canonical requests are retained for
+	// GET /v1/schedules/{fp} (default 4096, FIFO eviction; an evicted
+	// fingerprint answers 404 until resubmitted).
+	StoreLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemoBytes == 0 {
+		o.MemoBytes = 256 << 20
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.SimHyperperiods <= 0 {
+		o.SimHyperperiods = 200
+	}
+	if o.MaxTasks <= 0 {
+		o.MaxTasks = 64
+	}
+	if o.StoreLimit <= 0 {
+		o.StoreLimit = 4096
+	}
+	return o
+}
+
+// Server is the scheduling service. Construct with New, serve Handler, and
+// Close when done (it cancels in-flight solves).
+type Server struct {
+	opts   Options
+	runner *grid.Runner
+	memo   *grid.Memo
+	disp   *dispatcher
+	mux    *http.ServeMux
+
+	base   context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	requests map[string]*canonicalRequest // fingerprint → canonical submit content
+	fifo     []string                     // insertion order for StoreLimit eviction
+
+	nSubmits, nGets, nCompares atomic.Int64
+}
+
+// New constructs a Server with its own bounded memo and grid runner.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	var memo *grid.Memo
+	if o.MemoBytes > 0 {
+		memo = grid.NewBoundedMemo(o.MemoBytes)
+	} else {
+		memo = grid.NewMemo()
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     o,
+		runner:   grid.New(o.Workers, memo),
+		memo:     memo,
+		base:     base,
+		cancel:   cancel,
+		requests: make(map[string]*canonicalRequest),
+	}
+	s.disp = newDispatcher(base, s.runner, o.BatchSize, o.BatchWindow)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedules", s.handleSubmit)
+	mux.HandleFunc("GET /v1/schedules/{fp}", s.handleGet)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels the server's base context: in-flight solves stop at their
+// next sweep boundary and new requests are refused with 503.
+func (s *Server) Close() { s.cancel() }
+
+// apiError is a deterministic JSON error response.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errorf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// canonicalRequest is a submit request after validation and defaulting: the
+// form all solving and fingerprinting is defined over.
+type canonicalRequest struct {
+	set       *task.Set
+	objective core.Objective
+	starts    int
+	subCap    int
+}
+
+// SubmitRequest is the POST /v1/schedules body.
+type SubmitRequest struct {
+	// Tasks is the task set. Sets are canonicalised into rate-monotonic
+	// priority order before fingerprinting, so permutations of tasks with
+	// distinct periods share a fingerprint; among equal-period tasks the
+	// submission order is the priority tie-break (paper §2.1's rule) and is
+	// therefore part of the schedule's identity.
+	Tasks []task.Task `json:"tasks"`
+	// Objective is "acs" (default) or "wcs".
+	Objective string `json:"objective,omitempty"`
+	// Starts overrides the server's solver multi-start count (0 = server
+	// default).
+	Starts int `json:"starts,omitempty"`
+	// SubCap caps sub-instances per instance (0 = unlimited).
+	SubCap int `json:"subcap,omitempty"`
+}
+
+// CompareRequest is the POST /v1/compare body: a submit body plus the
+// simulation dimensions.
+type CompareRequest struct {
+	SubmitRequest
+	// Hyperperiods is the simulated horizon (0 = server default).
+	Hyperperiods int `json:"hyperperiods,omitempty"`
+	// Seed seeds the workload draws; 0 derives a seed from the task-set
+	// fingerprint, so responses stay deterministic per request body.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ScheduleResponse is the submit/get response: the solved static schedule
+// and its predicted energies.
+type ScheduleResponse struct {
+	// Fingerprint is the content address of (task set, solver config,
+	// objective) — the handle GET /v1/schedules/{fp} accepts.
+	Fingerprint string `json:"fingerprint"`
+	Objective   string `json:"objective"`
+	Tasks       int    `json:"tasks"`
+	// HyperperiodMs is the schedule horizon (LCM of all periods).
+	HyperperiodMs int64 `json:"hyperperiod_ms"`
+	// Pieces is the number of sub-instances in the fully-preemptive total
+	// order (the length of EndMs and WCWorkCycles).
+	Pieces int `json:"pieces"`
+	Sweeps int `json:"sweeps"`
+	// PredictedEnergy is the solver's objective value: expected greedy-
+	// reclamation energy at the average workload for ACS, worst-case energy
+	// for WCS.
+	PredictedEnergy float64 `json:"predicted_energy"`
+	// WCSAvgEnergy is the WCS baseline schedule evaluated at the average
+	// workload — the static quantity ACS improves on — and ImprovementPct
+	// the relative gain. Present only for the ACS objective.
+	WCSAvgEnergy   *float64 `json:"wcs_avg_energy,omitempty"`
+	ImprovementPct *float64 `json:"improvement_pct,omitempty"`
+	// EndMs and WCWorkCycles are the two vectors the online DVS phase
+	// consumes (paper §3.2), in the plan's total order.
+	EndMs        []float64 `json:"end_ms"`
+	WCWorkCycles []float64 `json:"wcwork_cycles"`
+}
+
+// PolicyResult summarises one simulated schedule in a CompareResponse.
+type PolicyResult struct {
+	Energy         float64 `json:"energy"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	Switches       int     `json:"switches"`
+	MeanVoltage    float64 `json:"mean_voltage"`
+}
+
+// CompareResponse is the /v1/compare response: both schedules simulated
+// under identical workload draws.
+type CompareResponse struct {
+	Fingerprint    string       `json:"fingerprint"`
+	Hyperperiods   int          `json:"hyperperiods"`
+	Seed           uint64       `json:"seed"`
+	ImprovementPct float64      `json:"improvement_pct"`
+	ACS            PolicyResult `json:"acs"`
+	WCS            PolicyResult `json:"wcs"`
+}
+
+// StatsResponse is the /v1/stats body. It reports operational state and is
+// exempt from the byte-determinism contract.
+type StatsResponse struct {
+	Submits   int64      `json:"submits"`
+	Gets      int64      `json:"gets"`
+	Compares  int64      `json:"compares"`
+	Batches   int64      `json:"batches"`
+	Coalesced int64      `json:"coalesced"`
+	Stored    int        `json:"stored_requests"`
+	Workers   int        `json:"workers"`
+	BatchSize int        `json:"batch_size"`
+	Memo      grid.Stats `json:"memo"`
+}
+
+// canonicalize validates a submit body into its canonical form. All
+// admission rejections happen here or in the feasibility check — both before
+// any solver time is spent.
+func (s *Server) canonicalize(req *SubmitRequest) (*canonicalRequest, *apiError) {
+	if len(req.Tasks) == 0 {
+		return nil, errorf(http.StatusUnprocessableEntity, "admission: task set is empty")
+	}
+	if len(req.Tasks) > s.opts.MaxTasks {
+		return nil, errorf(http.StatusUnprocessableEntity,
+			"admission: %d tasks exceeds the limit of %d", len(req.Tasks), s.opts.MaxTasks)
+	}
+	set, err := task.NewSet(req.Tasks)
+	if err != nil {
+		return nil, errorf(http.StatusUnprocessableEntity, "admission: %v", err)
+	}
+	cr := &canonicalRequest{set: set, starts: req.Starts, subCap: req.SubCap}
+	if cr.starts <= 0 {
+		cr.starts = s.opts.Starts
+	}
+	switch req.Objective {
+	case "", "acs":
+		cr.objective = core.AverageCase
+	case "wcs":
+		cr.objective = core.WorstCase
+	default:
+		return nil, errorf(http.StatusUnprocessableEntity,
+			"admission: unknown objective %q (want acs or wcs)", req.Objective)
+	}
+	return cr, nil
+}
+
+// config returns the solver configuration for objective o.
+func (cr *canonicalRequest) config(o core.Objective) core.Config {
+	cfg := core.Config{Objective: o, Starts: cr.starts}
+	cfg.Preempt.MaxSubsPerInstance = cr.subCap
+	return cfg
+}
+
+// fingerprint content-addresses the canonical request through the grid cache
+// key: the task-set fingerprint, the model identity, and every solver field
+// a solve is a function of.
+func (cr *canonicalRequest) fingerprint() (string, *apiError) {
+	key, ok := grid.ScheduleKey(cr.set, cr.config(cr.objective))
+	if !ok {
+		return "", errorf(http.StatusInternalServerError, "fingerprint: config not canonically encodable")
+	}
+	return key.String(), nil
+}
+
+// buildScheduleResponse is the submit pipeline: admission feasibility check,
+// WCS synthesis, ACS synthesis warm-started from WCS (for the ACS
+// objective), response assembly. It is a pure function of cr — every field
+// of the response is derived from solver output, never from timing or cache
+// state.
+func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest, fp string) any {
+	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
+		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
+	}
+	wcs, err := s.runner.BuildScheduleContext(ctx, cr.set, cr.config(core.WorstCase))
+	if err != nil {
+		return solveError("wcs synthesis", err)
+	}
+	final := wcs
+	resp := &ScheduleResponse{
+		Fingerprint: fp,
+		Objective:   cr.objective.String(),
+		Tasks:       cr.set.N(),
+	}
+	if cr.objective == core.AverageCase {
+		acsCfg := cr.config(core.AverageCase)
+		acsCfg.WarmStart = wcs
+		acs, err := s.runner.BuildScheduleContext(ctx, cr.set, acsCfg)
+		if err != nil {
+			return solveError("acs synthesis", err)
+		}
+		final = acs
+		avg := make([]float64, len(wcs.Plan.Instances))
+		for i := range avg {
+			avg[i] = wcs.Plan.Set.Tasks[wcs.Plan.Instances[i].TaskIndex].ACEC
+		}
+		wcsAvg, _, err := wcs.EnergyUnder(avg)
+		if err != nil {
+			return solveError("wcs baseline evaluation", err)
+		}
+		imp := 0.0
+		if wcsAvg > 0 {
+			imp = 100 * (wcsAvg - acs.Energy) / wcsAvg
+		}
+		resp.WCSAvgEnergy = &wcsAvg
+		resp.ImprovementPct = &imp
+	}
+	if h, err := cr.set.Hyperperiod(); err == nil {
+		resp.HyperperiodMs = h
+	}
+	resp.Pieces = len(final.Plan.Subs)
+	resp.Sweeps = final.Sweeps
+	resp.PredictedEnergy = final.Energy
+	resp.EndMs = final.End
+	resp.WCWorkCycles = final.WCWork
+	return resp
+}
+
+// buildCompareResponse solves both objectives and simulates them under
+// identical workload draws — the Fig. 6 quantity, as a service. Pure
+// function of (cr, hyperperiods, seed).
+func (s *Server) buildCompareResponse(ctx context.Context, cr *canonicalRequest, fp string, hyperperiods int, seed uint64) any {
+	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
+		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
+	}
+	wcs, err := s.runner.BuildScheduleContext(ctx, cr.set, cr.config(core.WorstCase))
+	if err != nil {
+		return solveError("wcs synthesis", err)
+	}
+	acsCfg := cr.config(core.AverageCase)
+	acsCfg.WarmStart = wcs
+	acs, err := s.runner.BuildScheduleContext(ctx, cr.set, acsCfg)
+	if err != nil {
+		return solveError("acs synthesis", err)
+	}
+	pa, err := s.runner.CompileSchedule(acs)
+	if err != nil {
+		return solveError("acs compile", err)
+	}
+	pb, err := s.runner.CompileSchedule(wcs)
+	if err != nil {
+		return solveError("wcs compile", err)
+	}
+	imp, ra, rb, err := sim.ComparePlans(pa, pb, sim.Config{
+		Policy:       sim.Greedy,
+		Hyperperiods: hyperperiods,
+		Seed:         seed,
+		Workers:      s.opts.SimWorkers,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		return solveError("simulation", err)
+	}
+	return &CompareResponse{
+		Fingerprint:    fp,
+		Hyperperiods:   hyperperiods,
+		Seed:           seed,
+		ImprovementPct: imp,
+		ACS:            PolicyResult{Energy: ra.Energy, DeadlineMisses: ra.DeadlineMisses, Switches: ra.Switches, MeanVoltage: ra.MeanVoltage},
+		WCS:            PolicyResult{Energy: rb.Energy, DeadlineMisses: rb.DeadlineMisses, Switches: rb.Switches, MeanVoltage: rb.MeanVoltage},
+	}
+}
+
+// solveError maps pipeline failures: cancellation (the requester went away
+// or the server is shutting down) becomes 503, everything else is a
+// deterministic 422 — solve failures are properties of the request content.
+func solveError(stage string, err error) *apiError {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errorf(http.StatusServiceUnavailable, "%s canceled", stage)
+	}
+	return errorf(http.StatusUnprocessableEntity, "%s: %v", stage, err)
+}
+
+// remember stores cr for later GETs, evicting the oldest stored request
+// beyond StoreLimit.
+func (s *Server) remember(fp string, cr *canonicalRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.requests[fp]; ok {
+		return
+	}
+	s.requests[fp] = cr
+	s.fifo = append(s.fifo, fp)
+	for len(s.fifo) > s.opts.StoreLimit {
+		delete(s.requests, s.fifo[0])
+		s.fifo = s.fifo[1:]
+	}
+}
+
+func (s *Server) lookup(fp string) *canonicalRequest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests[fp]
+}
+
+// decode reads a JSON body strictly: unknown fields are rejected so that a
+// mistyped request cannot silently alias a different canonical form.
+func decode(r *http.Request, into any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return errorf(http.StatusBadRequest, "parsing request: %v", err)
+	}
+	return nil
+}
+
+// writeJSON renders v deterministically: json.Marshal of a fixed struct
+// shape plus a trailing newline. (Maps never appear in response types —
+// their iteration order would break the byte contract.)
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// writeResult maps a pipeline result (response value or *apiError) onto the
+// wire.
+func writeResult(w http.ResponseWriter, v any) {
+	if e, ok := v.(*apiError); ok {
+		writeJSON(w, e.status, struct {
+			Error string `json:"error"`
+		}{e.msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.nSubmits.Add(1)
+	var req SubmitRequest
+	if e := decode(r, &req); e != nil {
+		writeResult(w, e)
+		return
+	}
+	cr, e := s.canonicalize(&req)
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	fp, e := cr.fingerprint()
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	s.remember(fp, cr)
+	v, err := s.disp.run(r.Context(), "submit:"+fp, func(ctx context.Context) any {
+		return s.buildScheduleResponse(ctx, cr, fp)
+	})
+	if err != nil {
+		writeResult(w, solveError("dispatch", err))
+		return
+	}
+	writeResult(w, v)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.nGets.Add(1)
+	fp := r.PathValue("fp")
+	cr := s.lookup(fp)
+	if cr == nil {
+		writeResult(w, errorf(http.StatusNotFound, "unknown fingerprint %q", fp))
+		return
+	}
+	// Recompute through the same pipeline as submit: with the memo warm it
+	// is a cache hit, after eviction it is a rebuild — byte-identical either
+	// way, so GET returns exactly the bytes submit did.
+	v, err := s.disp.run(r.Context(), "submit:"+fp, func(ctx context.Context) any {
+		return s.buildScheduleResponse(ctx, cr, fp)
+	})
+	if err != nil {
+		writeResult(w, solveError("dispatch", err))
+		return
+	}
+	writeResult(w, v)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.nCompares.Add(1)
+	var req CompareRequest
+	if e := decode(r, &req); e != nil {
+		writeResult(w, e)
+		return
+	}
+	// A comparison always solves both objectives; an explicit "wcs" would
+	// be accepted-but-ignored, so reject it rather than alias the ACS form.
+	if req.Objective != "" && req.Objective != "acs" {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"compare solves both objectives; omit the objective field (got %q)", req.Objective))
+		return
+	}
+	cr, e := s.canonicalize(&req.SubmitRequest)
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	fp, e := cr.fingerprint()
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	h := req.Hyperperiods
+	if h <= 0 {
+		h = s.opts.SimHyperperiods
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = stats.SeedFromString(fp)
+	}
+	jobKey := fmt.Sprintf("compare:%s:%d:%d", fp, h, seed)
+	v, err := s.disp.run(r.Context(), jobKey, func(ctx context.Context) any {
+		return s.buildCompareResponse(ctx, cr, fp, h, seed)
+	})
+	if err != nil {
+		writeResult(w, solveError("dispatch", err))
+		return
+	}
+	writeResult(w, v)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	stored := len(s.requests)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Submits:   s.nSubmits.Load(),
+		Gets:      s.nGets.Load(),
+		Compares:  s.nCompares.Load(),
+		Batches:   s.disp.batches.Load(),
+		Coalesced: s.disp.coalesced.Load(),
+		Stored:    stored,
+		Workers:   s.runner.Workers(),
+		BatchSize: s.opts.BatchSize,
+		Memo:      s.memo.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.base.Err() != nil {
+		writeResult(w, errorf(http.StatusServiceUnavailable, "shutting down"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}

@@ -41,6 +41,9 @@ func (p *CompiledPlan) newWorkspace() *runWorkspace {
 // runBlock simulates hyper-periods [lo, hi) into perH.
 func (p *CompiledPlan) runBlock(cfg *Config, dist Distribution, seeds []uint64, perH []hyperResult, lo, hi int, ws *runWorkspace) {
 	for h := lo; h < hi; h++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return // Run surfaces the error after fan-in
+		}
 		ws.rng.Reset(seeds[h])
 		for idx := range ws.actual {
 			ws.actual[idx] = dist(&ws.rng, p.bcec[idx], p.acec[idx], p.wcec[idx])
@@ -97,6 +100,14 @@ func (p *CompiledPlan) Run(cfg Config) (*Result, error) {
 			}(lo, hi)
 		}
 		wg.Wait()
+	}
+
+	// Cancellation is authoritative: a canceled run returns the context's
+	// error rather than a partial, timing-dependent aggregate.
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Indexed in-order fan-in: fold per-hyper-period results in hyper-period

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -86,6 +87,11 @@ type Config struct {
 	// draws from its own RNG stream split from Seed in hyper-period order
 	// before dispatch, and results are folded back in hyper-period order.
 	Workers int
+	// Ctx, when non-nil, cancels a long simulation early: workers stop at
+	// the next hyper-period boundary once it is done and Run returns Ctx's
+	// error instead of a Result. A run that completes is bit-identical to
+	// one without a context.
+	Ctx context.Context
 
 	// reference forces the generic per-piece power.Model path for every
 	// policy, bypassing the compiled precomputations and the SimpleInverse
