@@ -19,6 +19,8 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // errDeadlineMiss distinguishes the warning exit (status 2) from hard
@@ -48,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		subCap  = fs.Int("subcap", 0, "max sub-instances per instance (0 = unlimited)")
 		starts  = fs.Int("starts", 1, "solver multi-start count (>1 runs parallel starts)")
 		simWork = fs.Int("simworkers", 0, "parallel hyper-period simulation workers (0 = GOMAXPROCS; results are identical for any value)")
+		rtTrace = fs.Bool("trace", false, "export one hyper-period's runtime execution for the ACS schedule (observed vs predicted cycles per job, CSV + Gantt)")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -98,9 +101,37 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	report(stdout, "ACS", ra)
 	report(stdout, "WCS", rb)
 	fmt.Fprintf(stdout, "improvement of ACS over WCS: %.2f%%\n", imp)
+	if *rtTrace {
+		if err := writeRuntimeTrace(stdout, acs, d, *seed); err != nil {
+			return err
+		}
+	}
 	if ra.DeadlineMisses+rb.DeadlineMisses > 0 {
 		return errDeadlineMiss
 	}
+	return nil
+}
+
+// writeRuntimeTrace draws one hyper-period of actual workloads from dist
+// (seeded, so the export is deterministic per invocation) and prints the
+// runtime-execution export for the ACS schedule: observed vs predicted
+// cycles per job as CSV, plus the realised Gantt chart.
+func writeRuntimeTrace(w io.Writer, acs *core.Schedule, d sim.Distribution, seed uint64) error {
+	rng := stats.NewRNG(seed)
+	actual := make([]float64, len(acs.Plan.Instances))
+	for i := range actual {
+		t := &acs.Plan.Set.Tasks[acs.Plan.Instances[i].TaskIndex]
+		actual[i] = d(rng, t.BCEC, t.ACEC, t.WCEC)
+	}
+	csv, err := trace.RuntimeCSV(acs, actual)
+	if err != nil {
+		return err
+	}
+	gantt, err := trace.RuntimeGantt(acs, actual, 80)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nruntime execution trace (one hyper-period, seed %d):\n%s\n%s", seed, csv, gantt)
 	return nil
 }
 

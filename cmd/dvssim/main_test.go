@@ -38,6 +38,32 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunTraceExport: -trace appends the runtime-execution export (observed
+// vs predicted cycles per job, CSV + Gantt) deterministically.
+func TestRunTraceExport(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"-builtin", "motivation", "-reps", "5", "-seed", "3", "-trace"},
+			strings.NewReader(""), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	got := render()
+	for _, want := range []string{
+		"runtime execution trace",
+		"order,task,instance,sub,release_ms,deadline_ms,predicted_cycles,observed_cycles,",
+		"runtime execution (greedy reclamation)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q:\n%s", want, got)
+		}
+	}
+	if got != render() {
+		t.Error("trace export not deterministic")
+	}
+}
+
 // TestRunFlagErrors: unknown policies, distributions, builtins, and flags
 // are rejected.
 func TestRunFlagErrors(t *testing.T) {

@@ -9,17 +9,25 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedules      submit a task set → admission, synthesis,
-//	                        schedule + predicted energy
-//	GET  /v1/schedules/{fp} re-fetch a submitted schedule by fingerprint
-//	POST /v1/compare        simulated ACS-vs-WCS comparison
-//	GET  /v1/stats          cache, batching and request counters
-//	GET  /v1/healthz        liveness
+//	POST /v1/schedules              submit a task set → admission, synthesis,
+//	                                schedule + predicted energy
+//	GET  /v1/schedules/{fp}         re-fetch a submitted schedule by fingerprint
+//	POST /v1/compare                simulated ACS-vs-WCS comparison
+//	POST /v1/sessions               open a feedback session: streaming
+//	                                estimators + drift detection + adaptive
+//	                                re-solving (internal/feedback, DESIGN.md §8)
+//	POST /v1/sessions/{id}/observe  stream per-hyper-period execution
+//	                                observations → "no change" or a re-solved
+//	                                schedule with its fingerprint
+//	GET  /v1/sessions/{id}          learned estimator and adaptation state
+//	GET  /v1/stats                  cache, batching, session and request counters
+//	GET  /v1/healthz                liveness
 //
 // Responses to submit/get/compare are byte-deterministic per request body
-// regardless of batch composition, worker count, or cache state; see
-// DESIGN.md §7 for the contract and cmd/schedload for the matching load
-// generator / throughput benchmark.
+// regardless of batch composition, worker count, or cache state; session
+// schedule payloads are deterministic per (creation body, observation
+// history); see DESIGN.md §7–§8 for the contracts and cmd/schedload for the
+// matching load generator / throughput benchmark.
 package main
 
 import (

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -62,7 +63,26 @@ type report struct {
 	} `json:"latency_ms"`
 	Errors     int             `json:"errors"`
 	Mismatches int             `json:"determinism_mismatches"`
+	Cache      *cacheReport    `json:"cache,omitempty"`
 	Server     json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// cacheReport lifts the server memo's full accounting — hit/miss counters
+// *and* the bounded store's eviction/byte-occupancy state — into first-class
+// report fields, so a load run shows whether its cache cap actually bound.
+// grid.Stats is embedded so new counters appear on the wire automatically.
+type cacheReport struct {
+	grid.Stats
+	ScheduleHitRate float64 `json:"schedule_hit_rate"`
+}
+
+// newCacheReport derives the report section from the memo stats snapshot.
+func newCacheReport(m grid.Stats) *cacheReport {
+	c := &cacheReport{Stats: m}
+	if total := m.ScheduleHits + m.ScheduleMisses; total > 0 {
+		c.ScheduleHitRate = float64(m.ScheduleHits) / float64(total)
+	}
+	return c
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -222,6 +242,10 @@ func run(args []string, stdout io.Writer) error {
 	if resp, err := client.Get(base + "/v1/stats"); err == nil {
 		if b, rerr := io.ReadAll(resp.Body); rerr == nil && resp.StatusCode == http.StatusOK {
 			rep.Server = json.RawMessage(b)
+			var st server.StatsResponse
+			if json.Unmarshal(b, &st) == nil {
+				rep.Cache = newCacheReport(st.Memo)
+			}
 		}
 		resp.Body.Close()
 	}

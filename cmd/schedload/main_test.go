@@ -33,6 +33,28 @@ func TestRunInProcess(t *testing.T) {
 	if len(rep.Server) == 0 {
 		t.Error("server stats not captured")
 	}
+	// Regression: the report surfaces the memo's eviction/byte accounting as
+	// first-class fields, not just hit/miss rates buried in the raw blob.
+	if rep.Cache == nil {
+		t.Fatal("report has no cache section")
+	}
+	if rep.Cache.ScheduleMisses == 0 {
+		t.Error("cache section recorded no solves")
+	}
+	if rep.Cache.BytesCap != 256<<20 {
+		t.Errorf("cache section bytes cap %d, want default 256 MiB", rep.Cache.BytesCap)
+	}
+	if rep.Cache.BytesUsed <= 0 {
+		t.Error("cache section shows no resident bytes after solves")
+	}
+	if rep.Cache.ScheduleHitRate <= 0 || rep.Cache.ScheduleHitRate >= 1 {
+		t.Errorf("hit rate %g implausible for a repeat mix", rep.Cache.ScheduleHitRate)
+	}
+	for _, field := range []string{`"evictions"`, `"bytes_used"`, `"bytes_cap"`, `"schedule_hit_rate"`} {
+		if !strings.Contains(out.String(), field) {
+			t.Errorf("report body missing %s", field)
+		}
+	}
 }
 
 // TestBuildBodiesDeterministic: the generated request stream is a pure

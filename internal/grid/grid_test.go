@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/power"
 	"repro/internal/preempt"
+	"repro/internal/sim"
 	"repro/internal/task"
 )
 
@@ -187,11 +188,24 @@ func TestConfigFieldsGuard(t *testing.T) {
 			"Scenarios", "ScenarioSeed", "Starts", "StartWorkers", "StartSeed", "ctx"},
 		"preempt.Options": {"MaxSubsPerInstance", "EDF"},
 		"task.Task":       {"Name", "Period", "WCEC", "ACEC", "BCEC", "Ceff"},
+		// sim.Config is guarded even though simulation results are never
+		// memoized (PlanKey covers only what sim.Compile reads — the
+		// schedule's content). The memoization hazard is indirect: the
+		// feedback subsystem's adaptive re-solves are keyed through
+		// ScheduleKey on the *adapted task set* (ACEC moves, WCEC/BCEC do
+		// not), so any new sim.Config field that influenced solve inputs
+		// would have to be routed into the task set or core.Config — never
+		// smuggled through simulation state. Workers/Ctx are wall-clock
+		// scoped; Observer never perturbs draws (pinned by
+		// TestObserverOrderAndNonPerturbation); reference is test-only.
+		"sim.Config": {"Policy", "Hyperperiods", "Seed", "Overhead", "Dist",
+			"Workers", "Ctx", "Observer", "reference"},
 	}
 	types := map[string]reflect.Type{
 		"core.Config":     reflect.TypeOf(core.Config{}),
 		"preempt.Options": reflect.TypeOf(preempt.Options{}),
 		"task.Task":       reflect.TypeOf(task.Task{}),
+		"sim.Config":      reflect.TypeOf(sim.Config{}),
 	}
 	for name, typ := range types {
 		var got []string

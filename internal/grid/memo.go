@@ -247,13 +247,16 @@ func planBytes(p *sim.CompiledPlan) int64 {
 // the build was in flight. Eviction returns a key to the miss-on-next-request
 // state without ever changing what that request returns.
 type Stats struct {
-	ScheduleHits, ScheduleMisses int64
-	PlanHits, PlanMisses         int64
+	ScheduleHits   int64 `json:"schedule_hits"`
+	ScheduleMisses int64 `json:"schedule_misses"`
+	PlanHits       int64 `json:"plan_hits"`
+	PlanMisses     int64 `json:"plan_misses"`
 	// Evictions counts entries dropped to respect the byte cap.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// BytesUsed is the estimated resident size of all completed entries;
 	// BytesCap is the configured cap (0 = unbounded).
-	BytesUsed, BytesCap int64
+	BytesUsed int64 `json:"bytes_used"`
+	BytesCap  int64 `json:"bytes_cap"`
 }
 
 // Stats snapshots the counters.

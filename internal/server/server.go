@@ -7,16 +7,21 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/schedules      submit a task set → admission + synthesis
-//	GET  /v1/schedules/{fp} re-fetch a submitted schedule by fingerprint
-//	POST /v1/compare        simulated ACS vs WCS comparison for a task set
-//	GET  /v1/stats          cache, batching and request counters
-//	GET  /v1/healthz        liveness probe
+//	POST /v1/schedules              submit a task set → admission + synthesis
+//	GET  /v1/schedules/{fp}         re-fetch a submitted schedule by fingerprint
+//	POST /v1/compare                simulated ACS vs WCS comparison for a task set
+//	POST /v1/sessions               open a feedback session (internal/feedback)
+//	POST /v1/sessions/{id}/observe  stream execution observations → adaptation
+//	GET  /v1/sessions/{id}          session estimator/adaptation state
+//	GET  /v1/stats                  cache, batching and request counters
+//	GET  /v1/healthz                liveness probe
 //
 // Determinism contract: the response body of every submit, get and compare
 // request is a pure function of the request body — byte-identical regardless
 // of batch composition, worker count, or cache state (the /v1/stats and
-// /v1/healthz endpoints report operational state and are exempt). This
+// /v1/healthz endpoints report operational state and are exempt; the
+// stateful session endpoints carry the controller's history-determinism
+// contract instead — see sessions.go). This
 // extends the grid engine's determinism contract (DESIGN.md §6) to the
 // serving path and is pinned by TestServerConcurrentDeterminism.
 //
@@ -78,6 +83,13 @@ type Options struct {
 	// GET /v1/schedules/{fp} (default 4096, FIFO eviction; an evicted
 	// fingerprint answers 404 until resubmitted).
 	StoreLimit int
+	// SessionLimit bounds resident feedback sessions (default 64); creation
+	// beyond it answers 503 until sessions free up (sessions live for the
+	// daemon's lifetime — there is deliberately no implicit eviction of a
+	// stateful learning loop).
+	SessionLimit int
+	// MaxObserveBatch bounds hyper-periods per observe call (default 4096).
+	MaxObserveBatch int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +111,12 @@ func (o Options) withDefaults() Options {
 	if o.StoreLimit <= 0 {
 		o.StoreLimit = 4096
 	}
+	if o.SessionLimit <= 0 {
+		o.SessionLimit = 64
+	}
+	if o.MaxObserveBatch <= 0 {
+		o.MaxObserveBatch = 4096
+	}
 	return o
 }
 
@@ -114,11 +132,13 @@ type Server struct {
 	base   context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	requests map[string]*canonicalRequest // fingerprint → canonical submit content
-	fifo     []string                     // insertion order for StoreLimit eviction
+	mu         sync.Mutex
+	requests   map[string]*canonicalRequest // fingerprint → canonical submit content
+	fifo       []string                     // insertion order for StoreLimit eviction
+	sessions   map[string]*serverSession    // id → resident feedback session
+	sessionSeq int64
 
-	nSubmits, nGets, nCompares atomic.Int64
+	nSubmits, nGets, nCompares, nSessions, nObserves atomic.Int64
 }
 
 // New constructs a Server with its own bounded memo and grid runner.
@@ -138,12 +158,16 @@ func New(opts Options) *Server {
 		base:     base,
 		cancel:   cancel,
 		requests: make(map[string]*canonicalRequest),
+		sessions: make(map[string]*serverSession),
 	}
 	s.disp = newDispatcher(base, s.runner, o.BatchSize, o.BatchWindow)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedules", s.handleSubmit)
 	mux.HandleFunc("GET /v1/schedules/{fp}", s.handleGet)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/observe", s.handleSessionObserve)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux = mux
@@ -257,15 +281,25 @@ type CompareResponse struct {
 // StatsResponse is the /v1/stats body. It reports operational state and is
 // exempt from the byte-determinism contract.
 type StatsResponse struct {
-	Submits   int64      `json:"submits"`
-	Gets      int64      `json:"gets"`
-	Compares  int64      `json:"compares"`
-	Batches   int64      `json:"batches"`
-	Coalesced int64      `json:"coalesced"`
-	Stored    int        `json:"stored_requests"`
-	Workers   int        `json:"workers"`
-	BatchSize int        `json:"batch_size"`
-	Memo      grid.Stats `json:"memo"`
+	Submits   int64 `json:"submits"`
+	Gets      int64 `json:"gets"`
+	Compares  int64 `json:"compares"`
+	Batches   int64 `json:"batches"`
+	Coalesced int64 `json:"coalesced"`
+	Stored    int   `json:"stored_requests"`
+	Workers   int   `json:"workers"`
+	BatchSize int   `json:"batch_size"`
+	// Sessions is the number of resident feedback sessions;
+	// SessionCreates counts creation attempts (like Submits, it includes
+	// rejected ones) and Observes the observation calls across all
+	// sessions.
+	Sessions       int   `json:"sessions"`
+	SessionCreates int64 `json:"session_creates"`
+	Observes       int64 `json:"observes"`
+	// Memo carries the grid store's full accounting — hit/miss counters and
+	// the bounded store's eviction/byte-occupancy counters (evictions,
+	// bytes_used, bytes_cap).
+	Memo grid.Stats `json:"memo"`
 }
 
 // canonicalize validates a submit body into its canonical form. All
@@ -579,17 +613,21 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	stored := len(s.requests)
+	sessions := len(s.sessions)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		Submits:   s.nSubmits.Load(),
-		Gets:      s.nGets.Load(),
-		Compares:  s.nCompares.Load(),
-		Batches:   s.disp.batches.Load(),
-		Coalesced: s.disp.coalesced.Load(),
-		Stored:    stored,
-		Workers:   s.runner.Workers(),
-		BatchSize: s.opts.BatchSize,
-		Memo:      s.memo.Stats(),
+		Submits:        s.nSubmits.Load(),
+		Gets:           s.nGets.Load(),
+		Compares:       s.nCompares.Load(),
+		Batches:        s.disp.batches.Load(),
+		Coalesced:      s.disp.coalesced.Load(),
+		Stored:         stored,
+		Workers:        s.runner.Workers(),
+		BatchSize:      s.opts.BatchSize,
+		Sessions:       sessions,
+		SessionCreates: s.nSessions.Load(),
+		Observes:       s.nObserves.Load(),
+		Memo:           s.memo.Stats(),
 	})
 }
 

@@ -268,6 +268,47 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
+// TestStatsExposesEvictionCounters is the regression for the bounded-memo
+// visibility contract: /v1/stats must surface the store's eviction and
+// byte-accounting counters (not just hit/miss rates), both as typed fields
+// and under their wire names, and they must move when eviction pressure is
+// real.
+func TestStatsExposesEvictionCounters(t *testing.T) {
+	// A cap of a few KiB fits roughly one schedule+plan pair, so distinct
+	// submits evict each other.
+	s, ts := newTestServer(t, Options{MemoBytes: 4 << 10})
+	for i := 0; i < 4; i++ {
+		if code, body := post(t, ts.URL+"/v1/schedules", smallBody(i)); code != http.StatusOK {
+			t.Fatalf("submit %d: %d %s", i, code, body)
+		}
+	}
+	code, body := get(t, ts.URL+"/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	for _, field := range []string{`"evictions"`, `"bytes_used"`, `"bytes_cap"`, `"schedule_hits"`, `"schedule_misses"`} {
+		if !strings.Contains(body, field) {
+			t.Errorf("stats body missing %s:\n%s", field, body)
+		}
+	}
+	var st StatsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Memo.BytesCap != 4<<10 {
+		t.Errorf("bytes cap %d, want %d", st.Memo.BytesCap, 4<<10)
+	}
+	if st.Memo.Evictions == 0 {
+		t.Error("no evictions under a few-KiB cap and 4 distinct submits")
+	}
+	if st.Memo.BytesUsed <= 0 || st.Memo.BytesUsed > st.Memo.BytesCap {
+		t.Errorf("bytes used %d outside (0, cap]", st.Memo.BytesUsed)
+	}
+	if want := s.memo.Stats(); want != st.Memo {
+		t.Errorf("stats body %+v diverges from memo accounting %+v", st.Memo, want)
+	}
+}
+
 // TestStoreLimitEviction: the request store forgets the oldest fingerprints,
 // which then 404 on GET until resubmitted.
 func TestStoreLimitEviction(t *testing.T) {

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/feedback"
+)
+
+// Feedback sessions (DESIGN.md §8): a session is a stateful closed loop over
+// one task set — the server holds a feedback.Controller per session, clients
+// stream per-hyper-period execution observations into it, and the server
+// answers either "no change" or a re-solved schedule with its fingerprint.
+//
+//	POST /v1/sessions               create: stated model → initial ACS
+//	POST /v1/sessions/{id}/observe  feed observations → drift/re-solve verdict
+//	GET  /v1/sessions/{id}          estimator and adaptation state
+//
+// Sessions are intentionally stateful, so they sit outside the stateless
+// byte-determinism contract of submit/get/compare; their determinism contract
+// is the controller's: every schedule payload (fingerprint, end-times,
+// budgets, predicted energy) is a pure function of the creation body plus the
+// ordered observation history, never of timing, batching, worker count or
+// cache state. Session ids are allocation order ("s1", "s2", …) and are the
+// one arrival-order-dependent field. Observes on one session serialise on the
+// session lock; solves flow through the server's shared bounded memo, so a
+// mode-switching workload that returns to a learned regime re-solves as a
+// cache hit.
+
+// serverSession is one resident closed loop.
+type serverSession struct {
+	mu   sync.Mutex
+	id   string
+	ctrl *feedback.Controller
+}
+
+// SessionRequest is the POST /v1/sessions body: a submit body plus the
+// feedback knobs (zero values select the controller defaults).
+type SessionRequest struct {
+	SubmitRequest
+	// Bins is the estimator histogram resolution per task.
+	Bins int `json:"bins,omitempty"`
+	// DriftDelta and DriftLambda parameterise the Page–Hinkley detector in
+	// standardized units; MinSamples is its warm-up length.
+	DriftDelta  float64 `json:"drift_delta,omitempty"`
+	DriftLambda float64 `json:"drift_lambda,omitempty"`
+	MinSamples  int     `json:"min_samples,omitempty"`
+	// Relearn is the fresh-observation window (hyper-periods) collected
+	// after drift fires before re-solving.
+	Relearn int `json:"relearn,omitempty"`
+}
+
+// SessionSchedule is the schedule payload a session answers with: the two
+// vectors the online phase consumes plus the solver's expected energy.
+type SessionSchedule struct {
+	Fingerprint     string    `json:"fingerprint"`
+	PredictedEnergy float64   `json:"predicted_energy"`
+	EndMs           []float64 `json:"end_ms"`
+	WCWorkCycles    []float64 `json:"wcwork_cycles"`
+}
+
+// SessionResponse is the create response.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	// Instances is the observation width: every observe row must carry this
+	// many per-instance cycle counts, in the plan's instance order.
+	Instances int             `json:"instances"`
+	Tasks     int             `json:"tasks"`
+	State     string          `json:"state"`
+	Schedule  SessionSchedule `json:"schedule"`
+}
+
+// ObserveRequest is the POST /v1/sessions/{id}/observe body: consecutive
+// hyper-periods of per-instance observed execution cycles.
+type ObserveRequest struct {
+	Hyperperiods [][]float64 `json:"hyperperiods"`
+}
+
+// ObserveResponse reports what the batch caused. Schedule is present only
+// when a re-solve completed ("no change" answers omit it).
+type ObserveResponse struct {
+	SessionID string `json:"session_id"`
+	Observed  int64  `json:"observed_hyperperiods"`
+	Drift     bool   `json:"drift"`
+	Resolved  bool   `json:"resolved"`
+	State     string `json:"state"`
+	// ResolvedHyperperiod is the observation index at which the re-solve
+	// completed (present when Resolved): the adapted schedule is available
+	// from this point — apply it at your executor's next hyper-period
+	// boundary.
+	ResolvedHyperperiod *int64           `json:"resolved_hyperperiod,omitempty"`
+	Schedule            *SessionSchedule `json:"schedule,omitempty"`
+}
+
+// TaskEstimate is one task's learned execution-cycle distribution.
+type TaskEstimate struct {
+	Task  string  `json:"task"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	// ModelACEC is the ACEC of the model the current schedule was solved
+	// against (after adaptations it tracks the learned mean).
+	ModelACEC float64 `json:"model_acec"`
+}
+
+// SessionStatusResponse is the GET /v1/sessions/{id} body.
+type SessionStatusResponse struct {
+	SessionID           string          `json:"session_id"`
+	State               string          `json:"state"`
+	Observed            int64           `json:"observed_hyperperiods"`
+	Resolves            int64           `json:"resolves"`
+	Drifts              int64           `json:"drifts"`
+	ResolveHyperperiods []int64         `json:"resolve_hyperperiods"`
+	Estimates           []TaskEstimate  `json:"estimates"`
+	Schedule            SessionSchedule `json:"schedule"`
+}
+
+// sessionSchedule snapshots the controller's current schedule payload.
+// Callers hold the session lock.
+func sessionSchedule(ctrl *feedback.Controller) SessionSchedule {
+	s := ctrl.Schedule()
+	return SessionSchedule{
+		Fingerprint:     ctrl.Fingerprint(),
+		PredictedEnergy: s.Energy,
+		EndMs:           s.End,
+		WCWorkCycles:    s.WCWork,
+	}
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.nSessions.Add(1)
+	var req SessionRequest
+	if e := decode(r, &req); e != nil {
+		writeResult(w, e)
+		return
+	}
+	cr, e := s.canonicalize(&req.SubmitRequest)
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	if req.Objective == "wcs" {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"admission: sessions adapt the average-case model; the objective is always acs"))
+		return
+	}
+	s.mu.Lock()
+	full := len(s.sessions) >= s.opts.SessionLimit
+	s.mu.Unlock()
+	if full {
+		writeResult(w, errorf(http.StatusServiceUnavailable,
+			"session limit (%d) reached", s.opts.SessionLimit))
+		return
+	}
+	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
+		writeResult(w, errorf(http.StatusUnprocessableEntity, "admission: %v", err))
+		return
+	}
+	opts := feedback.Options{
+		Runner: s.runner,
+		Solver: cr.config(core.AverageCase),
+		Bins:   req.Bins,
+		Drift: feedback.DriftConfig{
+			Delta: req.DriftDelta, Lambda: req.DriftLambda, MinSamples: req.MinSamples,
+		},
+		Relearn: req.Relearn,
+	}
+	opts.Solver.WarmStart = nil // managed by the controller
+	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
+	ctrl, err := feedback.NewController(ctx, cr.set, opts)
+	cancel()
+	if err != nil {
+		writeResult(w, solveError("session synthesis", err))
+		return
+	}
+	sess := &serverSession{ctrl: ctrl}
+	// Snapshot every response field *before* the session becomes reachable:
+	// ids are predictable, so a racing observe could otherwise mutate the
+	// controller while this handler reads it un-locked.
+	resp := &SessionResponse{
+		Instances: len(ctrl.TaskOf()),
+		Tasks:     cr.set.N(),
+		State:     ctrl.State().String(),
+		Schedule:  sessionSchedule(ctrl),
+	}
+	s.mu.Lock()
+	// Re-check the limit at insertion: the pre-solve check is only a
+	// fast-path reject, and concurrent creates could otherwise race past it
+	// (the solve above runs unlocked). A loser here wasted one solve —
+	// which the memo retains — but the bound holds.
+	if len(s.sessions) >= s.opts.SessionLimit {
+		s.mu.Unlock()
+		writeResult(w, errorf(http.StatusServiceUnavailable,
+			"session limit (%d) reached", s.opts.SessionLimit))
+		return
+	}
+	s.sessionSeq++
+	sess.id = fmt.Sprintf("s%d", s.sessionSeq)
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	resp.SessionID = sess.id
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) session(id string) *serverSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
+	s.nObserves.Add(1)
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeResult(w, errorf(http.StatusNotFound, "unknown session %q", r.PathValue("id")))
+		return
+	}
+	var req ObserveRequest
+	if e := decode(r, &req); e != nil {
+		writeResult(w, e)
+		return
+	}
+	if len(req.Hyperperiods) == 0 {
+		writeResult(w, errorf(http.StatusUnprocessableEntity, "observe: no hyper-periods"))
+		return
+	}
+	if len(req.Hyperperiods) > s.opts.MaxObserveBatch {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"observe: %d hyper-periods exceeds the batch limit of %d",
+			len(req.Hyperperiods), s.opts.MaxObserveBatch))
+		return
+	}
+	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
+	defer cancel()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	d, err := sess.ctrl.ObserveChunk(ctx, req.Hyperperiods)
+	if err != nil {
+		writeResult(w, solveError("observe", err))
+		return
+	}
+	resp := &ObserveResponse{
+		SessionID: sess.id,
+		Observed:  sess.ctrl.Observed(),
+		Drift:     d.Drift,
+		Resolved:  d.Resolved,
+		State:     d.State.String(),
+	}
+	if d.Resolved {
+		at := d.ResolvedHyperperiod
+		resp.ResolvedHyperperiod = &at
+		sched := sessionSchedule(sess.ctrl)
+		resp.Schedule = &sched
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r.PathValue("id"))
+	if sess == nil {
+		writeResult(w, errorf(http.StatusNotFound, "unknown session %q", r.PathValue("id")))
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	ctrl := sess.ctrl
+	model := ctrl.Model()
+	resp := &SessionStatusResponse{
+		SessionID:           sess.id,
+		State:               ctrl.State().String(),
+		Observed:            ctrl.Observed(),
+		Resolves:            ctrl.Resolves(),
+		Drifts:              ctrl.DriftsFired(),
+		ResolveHyperperiods: ctrl.ResolveHyperperiods(),
+		Schedule:            sessionSchedule(ctrl),
+	}
+	for i := range model.Tasks {
+		e := ctrl.Lifetime().Task(i)
+		resp.Estimates = append(resp.Estimates, TaskEstimate{
+			Task:      model.Tasks[i].Name,
+			Count:     e.Count(),
+			Mean:      e.Mean(),
+			Std:       e.Std(),
+			Min:       e.Min(),
+			Max:       e.Max(),
+			ModelACEC: model.Tasks[i].ACEC,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

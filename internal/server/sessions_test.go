@@ -1,0 +1,288 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// sessionBody builds a session-create body over a seeded feasible set.
+func sessionBody(t *testing.T, seed uint64) (string, *task.Set) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	set, err := workload.RandomFeasible(rng, workload.RandomConfig{N: 3, Ratio: 0.1, Utilization: 0.7}, 50,
+		func(s *task.Set) bool { return core.Feasible(s, core.Config{}) == nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(struct {
+		Tasks []task.Task `json:"tasks"`
+	}{set.Tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), set
+}
+
+// observeBody renders hyper-period rows as an observe request.
+func observeBody(t *testing.T, rows [][]float64) string {
+	t.Helper()
+	b, err := json.Marshal(ObserveRequest{Hyperperiods: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSessionLifecycle drives the full closed loop over HTTP: create a
+// session, stream a mode-switching workload through observe in chunks, see
+// the re-solved schedule arrive with a changed fingerprint, and read the
+// estimator state back.
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, set := sessionBody(t, 1)
+
+	code, resp := post(t, ts.URL+"/v1/sessions", body)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal([]byte(resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID == "" || created.Instances == 0 || created.Schedule.Fingerprint == "" {
+		t.Fatalf("incomplete create response: %+v", created)
+	}
+	if created.State != "tracking" {
+		t.Errorf("fresh session state %q", created.State)
+	}
+	if len(created.Schedule.EndMs) == 0 || len(created.Schedule.EndMs) != len(created.Schedule.WCWorkCycles) {
+		t.Fatalf("create response missing schedule vectors")
+	}
+
+	// Mode-switching stream: the session must adapt within the horizon.
+	sc, err := workload.NewScenario(set, workload.ScenarioConfig{Kind: workload.ModeSwitch, Seed: 5, SwitchEvery: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskOf := make([]int, created.Instances)
+	ins, err := set.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != created.Instances {
+		t.Fatalf("server reports %d instances, set expands to %d", created.Instances, len(ins))
+	}
+	for i := range ins {
+		taskOf[i] = ins[i].TaskIndex
+	}
+	rows, err := sc.Actuals(150, taskOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resolved := 0
+	var lastSchedule *SessionSchedule
+	base := ts.URL + "/v1/sessions/" + created.SessionID
+	for lo := 0; lo < len(rows); lo += 10 {
+		code, resp := post(t, base+"/observe", observeBody(t, rows[lo:lo+10]))
+		if code != http.StatusOK {
+			t.Fatalf("observe at %d: %d %s", lo, code, resp)
+		}
+		var ob ObserveResponse
+		if err := json.Unmarshal([]byte(resp), &ob); err != nil {
+			t.Fatal(err)
+		}
+		if ob.Resolved {
+			resolved++
+			if ob.Schedule == nil || ob.ResolvedHyperperiod == nil {
+				t.Fatalf("resolved answer missing schedule or resolve point: %s", resp)
+			}
+			lastSchedule = ob.Schedule
+		} else if ob.Schedule != nil {
+			t.Fatalf("no-change answer carried a schedule: %s", resp)
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("mode-switch stream never re-solved")
+	}
+	if lastSchedule.Fingerprint == created.Schedule.Fingerprint {
+		t.Error("re-solved schedule kept the initial fingerprint")
+	}
+
+	code, resp = get(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("status: %d %s", code, resp)
+	}
+	var st SessionStatusResponse
+	if err := json.Unmarshal([]byte(resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observed != 150 || st.Resolves != int64(resolved) {
+		t.Errorf("status observed=%d resolves=%d, want 150/%d", st.Observed, st.Resolves, resolved)
+	}
+	if len(st.Estimates) != set.N() {
+		t.Fatalf("%d estimates for %d tasks", len(st.Estimates), set.N())
+	}
+	for _, e := range st.Estimates {
+		if e.Count == 0 || e.Mean <= 0 {
+			t.Errorf("task %s estimator empty: %+v", e.Task, e)
+		}
+	}
+	if st.Schedule.Fingerprint != lastSchedule.Fingerprint {
+		t.Error("status schedule is not the last re-solved one")
+	}
+}
+
+// TestSessionHistoryDeterminism: two sessions created from the same body and
+// fed the same observation stream answer identical schedule payloads at
+// every step — the session determinism contract (pure function of creation
+// body + observation history).
+func TestSessionHistoryDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, set := sessionBody(t, 2)
+	sc, err := workload.NewScenario(set, workload.ScenarioConfig{Kind: workload.ModeSwitch, Seed: 9, SwitchEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := set.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskOf := make([]int, len(ins))
+	for i := range ins {
+		taskOf[i] = ins[i].TaskIndex
+	}
+	rows, err := sc.Actuals(130, taskOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() []string {
+		code, resp := post(t, ts.URL+"/v1/sessions", body)
+		if code != http.StatusOK {
+			t.Fatalf("create: %d %s", code, resp)
+		}
+		var created SessionResponse
+		if err := json.Unmarshal([]byte(resp), &created); err != nil {
+			t.Fatal(err)
+		}
+		out := []string{created.Schedule.Fingerprint}
+		for lo := 0; lo < len(rows); lo += 13 {
+			hi := lo + 13
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			code, resp := post(t, ts.URL+"/v1/sessions/"+created.SessionID+"/observe", observeBody(t, rows[lo:hi]))
+			if code != http.StatusOK {
+				t.Fatalf("observe: %d %s", code, resp)
+			}
+			var ob ObserveResponse
+			if err := json.Unmarshal([]byte(resp), &ob); err != nil {
+				t.Fatal(err)
+			}
+			if ob.Resolved {
+				b, err := json.Marshal(ob.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, string(b))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) < 2 {
+		t.Fatal("stream triggered no re-solves — determinism check vacuous")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("session schedule trajectories differ:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestSessionFingerprintMatchesSubmit: a session's initial schedule carries
+// the same content address a plain submit of the same body produces — one
+// fingerprint address space across both APIs (the session strips the
+// controller-managed warm start before keying).
+func TestSessionFingerprintMatchesSubmit(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, _ := sessionBody(t, 4)
+
+	code, resp := post(t, ts.URL+"/v1/schedules", body)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, resp)
+	}
+	var sub ScheduleResponse
+	if err := json.Unmarshal([]byte(resp), &sub); err != nil {
+		t.Fatal(err)
+	}
+	code, resp = post(t, ts.URL+"/v1/sessions", body)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal([]byte(resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Schedule.Fingerprint != sub.Fingerprint {
+		t.Errorf("session fingerprint %s differs from submit fingerprint %s for the same body",
+			created.Schedule.Fingerprint, sub.Fingerprint)
+	}
+	// And the submit handle works: the session's fingerprint resolves on
+	// GET /v1/schedules.
+	if code, _ := get(t, ts.URL+"/v1/schedules/"+created.Schedule.Fingerprint); code != http.StatusOK {
+		t.Errorf("session fingerprint not fetchable via /v1/schedules: %d", code)
+	}
+}
+
+func TestSessionRejections(t *testing.T) {
+	_, ts := newTestServer(t, Options{SessionLimit: 1, MaxObserveBatch: 4})
+	body, _ := sessionBody(t, 3)
+
+	if code, resp := post(t, ts.URL+"/v1/sessions", `{"tasks":[]}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty set: %d %s", code, resp)
+	}
+	if code, resp := post(t, ts.URL+"/v1/sessions",
+		strings.Replace(body, `{"tasks":`, `{"objective":"wcs","tasks":`, 1)); code != http.StatusUnprocessableEntity {
+		t.Errorf("wcs objective: %d %s", code, resp)
+	}
+
+	code, resp := post(t, ts.URL+"/v1/sessions", body)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal([]byte(resp), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session limit binds.
+	if code, resp := post(t, ts.URL+"/v1/sessions", body); code != http.StatusServiceUnavailable {
+		t.Errorf("over session limit: %d %s", code, resp)
+	}
+
+	obs := ts.URL + "/v1/sessions/" + created.SessionID + "/observe"
+	if code, resp := post(t, ts.URL+"/v1/sessions/nope/observe", `{"hyperperiods":[[1]]}`); code != http.StatusNotFound {
+		t.Errorf("unknown session observe: %d %s", code, resp)
+	}
+	if code, resp := get(t, ts.URL+"/v1/sessions/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown session get: %d %s", code, resp)
+	}
+	if code, resp := post(t, obs, `{"hyperperiods":[]}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty observe: %d %s", code, resp)
+	}
+	if code, resp := post(t, obs, observeBody(t, make([][]float64, 5))); code != http.StatusUnprocessableEntity {
+		t.Errorf("oversize observe batch: %d %s", code, resp)
+	}
+	// Wrong observation width is a 422 from the controller.
+	if code, resp := post(t, obs, `{"hyperperiods":[[1,2]]}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("wrong-width observe: %d %s", code, resp)
+	}
+}

@@ -38,8 +38,12 @@ func (p *CompiledPlan) newWorkspace() *runWorkspace {
 	}
 }
 
-// runBlock simulates hyper-periods [lo, hi) into perH.
-func (p *CompiledPlan) runBlock(cfg *Config, dist Distribution, seeds []uint64, perH []hyperResult, lo, hi int, ws *runWorkspace) {
+// runBlock simulates hyper-periods [lo, hi) into perH. When obs is non-nil
+// (an Observer is installed) each hyper-period's draws are copied into its
+// index-addressed slot, after drawing and before dispatch, so capture can
+// never perturb the workload stream.
+func (p *CompiledPlan) runBlock(cfg *Config, dist Distribution, seeds []uint64, perH []hyperResult, obs []float64, lo, hi int, ws *runWorkspace) {
+	n := len(p.bcec)
 	for h := lo; h < hi; h++ {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 			return // Run surfaces the error after fan-in
@@ -48,7 +52,21 @@ func (p *CompiledPlan) runBlock(cfg *Config, dist Distribution, seeds []uint64, 
 		for idx := range ws.actual {
 			ws.actual[idx] = dist(&ws.rng, p.bcec[idx], p.acec[idx], p.wcec[idx])
 		}
+		if obs != nil {
+			copy(obs[h*n:(h+1)*n], ws.actual)
+		}
 		perH[h] = p.runOne(cfg, ws.actual, ws.remaining)
+	}
+}
+
+// runActualsBlock replays hyper-periods [lo, hi) under caller-supplied
+// workload vectors instead of drawn ones.
+func (p *CompiledPlan) runActualsBlock(cfg *Config, actuals [][]float64, perH []hyperResult, lo, hi int, ws *runWorkspace) {
+	for h := lo; h < hi; h++ {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return
+		}
+		perH[h] = p.runOne(cfg, actuals[h], ws.remaining)
 	}
 }
 
@@ -83,9 +101,14 @@ func (p *CompiledPlan) Run(cfg Config) (*Result, error) {
 		seeds[i] = master.SplitSeed()
 	}
 
+	var obs []float64
+	if cfg.Observer != nil {
+		obs = make([]float64, h*len(p.bcec))
+	}
+
 	perH := make([]hyperResult, h)
 	if workers == 1 {
-		p.runBlock(&cfg, dist, seeds, perH, 0, h, p.newWorkspace())
+		p.runBlock(&cfg, dist, seeds, perH, obs, 0, h, p.newWorkspace())
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -96,7 +119,7 @@ func (p *CompiledPlan) Run(cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				p.runBlock(&cfg, dist, seeds, perH, lo, hi, p.newWorkspace())
+				p.runBlock(&cfg, dist, seeds, perH, obs, lo, hi, p.newWorkspace())
 			}(lo, hi)
 		}
 		wg.Wait()
@@ -110,8 +133,18 @@ func (p *CompiledPlan) Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Indexed in-order fan-in: fold per-hyper-period results in hyper-period
-	// order, exactly as the serial loop would.
+	if cfg.Observer != nil {
+		n := len(p.bcec)
+		for i := 0; i < h; i++ {
+			cfg.Observer(i, obs[i*n:(i+1)*n])
+		}
+	}
+	return fold(perH), nil
+}
+
+// fold aggregates per-hyper-period results in hyper-period order, exactly as
+// the serial loop would — the in-order fan-in shared by Run and RunActuals.
+func fold(perH []hyperResult) *Result {
 	res := &Result{}
 	var voltWeighted float64
 	for i := range perH {
@@ -129,7 +162,73 @@ func (p *CompiledPlan) Run(cfg Config) (*Result, error) {
 	if res.BusyTime > 0 {
 		res.MeanVoltage = voltWeighted / res.BusyTime
 	}
-	return res, nil
+	return res
+}
+
+// RunActuals replays the compiled plan over len(actuals) hyper-periods whose
+// per-instance workloads are supplied by the caller instead of drawn from
+// Config.Dist — the execution entry point of the feedback subsystem's closed
+// loop, where an external (possibly nonstationary) scenario owns the workload
+// stream and the plan under execution is hot-swapped at hyper-period
+// boundaries: because the stream is external, splitting a horizon into chunks
+// executed on different plans changes nothing about the workloads, and each
+// chunk's Result is bit-identical for any Workers value exactly as Run's is.
+//
+// Config.Hyperperiods, Seed and Dist are ignored; Policy, Overhead, Workers,
+// Ctx and Observer apply as in Run. Every actuals[h] must have length
+// Instances() and is read, never written.
+func (p *CompiledPlan) RunActuals(cfg Config, actuals [][]float64) (*Result, error) {
+	switch cfg.Policy {
+	case Greedy, Static, NoDVS:
+	default:
+		return nil, fmt.Errorf("sim: unknown slack policy %v", cfg.Policy)
+	}
+	h := len(actuals)
+	if h == 0 {
+		return &Result{}, nil
+	}
+	n := len(p.bcec)
+	for i, row := range actuals {
+		if len(row) != n {
+			return nil, fmt.Errorf("sim: actuals[%d] has %d workloads, want %d instances", i, len(row), n)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > h {
+		workers = h
+	}
+	perH := make([]hyperResult, h)
+	if workers == 1 {
+		p.runActualsBlock(&cfg, actuals, perH, 0, h, p.newWorkspace())
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*h/workers, (w+1)*h/workers
+			if lo == hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				p.runActualsBlock(&cfg, actuals, perH, lo, hi, p.newWorkspace())
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Observer != nil {
+		for i := 0; i < h; i++ {
+			cfg.Observer(i, actuals[i])
+		}
+	}
+	return fold(perH), nil
 }
 
 // ComparePlans runs two compiled plans under identical workload draws (same

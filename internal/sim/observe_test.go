@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestObserverOrderAndNonPerturbation pins the observation hook's contract:
+// the callback sees every hyper-period exactly once, in order, with draws
+// identical for any worker count, and installing it never changes the
+// simulation result.
+func TestObserverOrderAndNonPerturbation(t *testing.T) {
+	acs, _ := buildPair(t, 1, 4, 0.3)
+	p, err := Compile(acs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Policy: Greedy, Hyperperiods: 30, Seed: 11}
+	plain, err := p.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref [][]float64
+	for _, workers := range []int{1, 2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		var got [][]float64
+		next := 0
+		cfg.Observer = func(h int, actual []float64) {
+			if h != next {
+				t.Fatalf("Workers=%d: observed hyper-period %d, want %d", workers, h, next)
+			}
+			next++
+			got = append(got, append([]float64(nil), actual...))
+		}
+		r, err := p.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r, plain) {
+			t.Errorf("Workers=%d: observing changed the result", workers)
+		}
+		if len(got) != base.Hyperperiods {
+			t.Fatalf("Workers=%d: observed %d hyper-periods, want %d", workers, len(got), base.Hyperperiods)
+		}
+		if ref == nil {
+			ref = got
+		} else if !reflect.DeepEqual(got, ref) {
+			t.Errorf("Workers=%d: observation stream differs from Workers=1", workers)
+		}
+		for h, row := range got {
+			for i, x := range row {
+				if x < p.bcec[i]-1e-9 || x > p.wcec[i]+1e-9 {
+					t.Fatalf("hyper-period %d instance %d draw %g outside [%g, %g]",
+						h, i, x, p.bcec[i], p.wcec[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunActualsMatchesRun replays the draws captured by the Observer through
+// RunActuals and requires a bit-identical Result under every policy: the
+// external-workload path and the drawing path share one dispatcher.
+func TestRunActualsMatchesRun(t *testing.T) {
+	acs, _ := buildPair(t, 2, 4, 0.5)
+	p, err := Compile(acs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []SlackPolicy{Greedy, Static, NoDVS} {
+		cfg := Config{Policy: policy, Hyperperiods: 25, Seed: 7}
+		var rows [][]float64
+		cfg.Observer = func(h int, actual []float64) {
+			rows = append(rows, append([]float64(nil), actual...))
+		}
+		want, err := p.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := p.RunActuals(Config{Policy: policy, Workers: workers}, rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("policy %v Workers=%d: RunActuals differs from Run on identical workloads", policy, workers)
+			}
+		}
+	}
+}
+
+// TestRunActualsChunking pins that splitting a horizon into chunks leaves the
+// execution unchanged: chunks are independent experiments, so per-chunk
+// scalar aggregates sum to the whole-run values (energy to float tolerance,
+// counts exactly).
+func TestRunActualsChunking(t *testing.T) {
+	acs, _ := buildPair(t, 3, 3, 0.3)
+	p, err := Compile(acs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: Greedy, Hyperperiods: 24, Seed: 5}
+	var rows [][]float64
+	cfg.Observer = func(h int, actual []float64) {
+		rows = append(rows, append([]float64(nil), actual...))
+	}
+	whole, err := p.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var energy, busy float64
+	var misses, switches int
+	for lo := 0; lo < len(rows); lo += 7 {
+		hi := lo + 7
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		r, err := p.RunActuals(Config{Policy: Greedy}, rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		energy += r.Energy
+		busy += r.BusyTime
+		misses += r.DeadlineMisses
+		switches += r.Switches
+	}
+	if math.Abs(energy-whole.Energy) > 1e-9*whole.Energy {
+		t.Errorf("chunked energy %g, whole-run %g", energy, whole.Energy)
+	}
+	if math.Abs(busy-whole.BusyTime) > 1e-9*whole.BusyTime {
+		t.Errorf("chunked busy time %g, whole-run %g", busy, whole.BusyTime)
+	}
+	if misses != whole.DeadlineMisses || switches != whole.Switches {
+		t.Errorf("chunked counts (%d misses, %d switches) differ from whole run (%d, %d)",
+			misses, switches, whole.DeadlineMisses, whole.Switches)
+	}
+}
+
+func TestRunActualsValidation(t *testing.T) {
+	acs, _ := buildPair(t, 4, 3, 0.5)
+	p, err := Compile(acs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RunActuals(Config{}, [][]float64{make([]float64, p.Instances()+1)}); err == nil {
+		t.Error("wrong-width row accepted")
+	}
+	if _, err := p.RunActuals(Config{Policy: SlackPolicy(99)}, nil); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	r, err := p.RunActuals(Config{}, nil)
+	if err != nil || r.Energy != 0 {
+		t.Errorf("empty horizon: got (%v, %v), want zero result", r, err)
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// Runtime-execution export: what one hyper-period actually did under greedy
+// reclamation for a given actual workload vector — observed vs. predicted
+// cycles per job, the realised execution interval and voltage of every
+// piece. This is the debugging surface of feedback sessions (DESIGN.md §8):
+// when an adaptive schedule misbehaves, the first question is how the
+// observed per-job cycles diverged from the model the solver used.
+
+// RuntimeRow is one work-bearing sub-instance of an executed hyper-period.
+type RuntimeRow struct {
+	Order    int     `json:"order"`
+	Task     string  `json:"task"`
+	Instance int     `json:"instance"`
+	Sub      int     `json:"sub"`
+	Release  float64 `json:"release_ms"`
+	Deadline float64 `json:"deadline_ms"`
+	// PredictedCycles is the piece's model expectation (the schedule's
+	// derived average workload R̄); ObservedCycles what the piece actually
+	// executed under the given workload vector (0 when the instance's work
+	// was already exhausted by earlier pieces).
+	PredictedCycles float64 `json:"predicted_cycles"`
+	ObservedCycles  float64 `json:"observed_cycles"`
+	// StartMs/EndMs delimit the realised execution interval; StaticEndMs is
+	// the static end-time the voltage was computed against.
+	StartMs     float64 `json:"start_ms"`
+	EndMs       float64 `json:"end_ms"`
+	StaticEndMs float64 `json:"static_end_ms"`
+	// VoltageV is the supply voltage the piece ran at (0 if it executed
+	// nothing).
+	VoltageV float64 `json:"voltage_v"`
+}
+
+// RuntimeRows replays one hyper-period of s under greedy reclamation with
+// the given per-instance actual cycles (plan.Instances order) and returns a
+// row per work-bearing piece, in total order. The replay mirrors the online
+// dispatcher exactly: the voltage covers the worst-case budget from the
+// actual start to the static end, and the piece runs only its share of the
+// instance's actual cycles.
+func RuntimeRows(s *core.Schedule, actual []float64) ([]RuntimeRow, error) {
+	if len(actual) != len(s.Plan.Instances) {
+		return nil, fmt.Errorf("trace: got %d actual workloads for %d instances",
+			len(actual), len(s.Plan.Instances))
+	}
+	remaining := append([]float64(nil), actual...)
+	rows := make([]RuntimeRow, 0, len(s.Plan.Subs))
+	t := 0.0
+	for pos := range s.Plan.Subs {
+		su := &s.Plan.Subs[pos]
+		if s.WCWork[pos] <= core.DeadWork {
+			continue // pure reservation: never part of the runtime order
+		}
+		w := math.Min(remaining[su.InstanceIndex], s.WCWork[pos])
+		remaining[su.InstanceIndex] -= w
+		row := RuntimeRow{
+			Order:           pos,
+			Task:            s.Plan.Set.Tasks[su.TaskIndex].Name,
+			Instance:        su.InstanceNumber,
+			Sub:             su.SubIndex,
+			Release:         su.Release,
+			Deadline:        su.Deadline,
+			PredictedCycles: s.AvgWork[pos],
+			ObservedCycles:  w,
+			StaticEndMs:     s.End[pos],
+		}
+		if w > 0 {
+			a := math.Max(t, su.Release)
+			v, _ := power.VoltageForWindow(s.Model, s.WCWork[pos], s.End[pos]-a)
+			end := a + w*s.Model.CycleTime(v)
+			row.StartMs, row.EndMs, row.VoltageV = a, end, v
+			t = end
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RuntimeCSV renders the runtime execution as CSV with a header row.
+func RuntimeCSV(s *core.Schedule, actual []float64) (string, error) {
+	rows, err := RuntimeRows(s, actual)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("order,task,instance,sub,release_ms,deadline_ms,predicted_cycles,observed_cycles,start_ms,end_ms,static_end_ms,voltage_v\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%s,%d,%d,%g,%g,%g,%g,%g,%g,%g,%.4f\n",
+			r.Order, r.Task, r.Instance, r.Sub, r.Release, r.Deadline,
+			r.PredictedCycles, r.ObservedCycles, r.StartMs, r.EndMs, r.StaticEndMs, r.VoltageV)
+	}
+	return b.String(), nil
+}
+
+// RuntimeGantt renders an ASCII Gantt chart of the realised execution: one
+// lane per task, '#' painting the actual execution intervals (vs. the static
+// worst-case windows Gantt paints), ':' marking each piece's static end.
+func RuntimeGantt(s *core.Schedule, actual []float64, width int) (string, error) {
+	rows, err := RuntimeRows(s, actual)
+	if err != nil {
+		return "", err
+	}
+	if width <= 0 {
+		width = 80
+	}
+	h := s.Plan.Hyperperiod
+	scale := func(t float64) int {
+		c := int(math.Round(t / h * float64(width)))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	lanes := make([][]byte, s.Plan.Set.N())
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(".", width))
+	}
+	taskIdx := map[string]int{}
+	for i, t := range s.Plan.Set.Tasks {
+		taskIdx[t.Name] = i
+	}
+	for _, r := range rows {
+		lane := lanes[taskIdx[r.Task]]
+		if c := scale(r.StaticEndMs); c < width && lane[c] == '.' {
+			lane[c] = ':'
+		}
+		if r.ObservedCycles <= 0 {
+			continue
+		}
+		from, to := scale(r.StartMs), scale(r.EndMs)
+		if to == from && to < width {
+			to++
+		}
+		for c := from; c < to; c++ {
+			lane[c] = '#'
+		}
+	}
+	energy, _, err := s.EnergyUnder(actual)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	nameW := 0
+	for _, t := range s.Plan.Set.Tasks {
+		if len(t.Name) > nameW {
+			nameW = len(t.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%s runtime execution (greedy reclamation), H=%.0fms, energy=%.4g\n", s.Objective, h, energy)
+	for i, t := range s.Plan.Set.Tasks {
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameW, t.Name, lanes[i])
+	}
+	fmt.Fprintf(&b, "%-*s 0%s%.0fms\n", nameW, "", strings.Repeat(" ", width-1), h)
+	return b.String(), nil
+}

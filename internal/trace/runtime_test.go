@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeRowsReplay(t *testing.T) {
+	s := buildSchedule(t)
+	actual := make([]float64, len(s.Plan.Instances))
+	for i, in := range s.Plan.Instances {
+		actual[i] = s.Plan.Set.Tasks[in.TaskIndex].ACEC
+	}
+	rows, err := RuntimeRows(s, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no runtime rows")
+	}
+	// The replay mirrors EnergyUnder's recursion: recompute energy from the
+	// rows and compare.
+	var energy float64
+	prevEnd := 0.0
+	perInstance := map[int]float64{}
+	for _, r := range rows {
+		if r.ObservedCycles < 0 {
+			t.Fatalf("row %d negative observed cycles", r.Order)
+		}
+		if r.ObservedCycles == 0 {
+			continue
+		}
+		if r.StartMs < prevEnd-1e-9 {
+			t.Fatalf("row %d starts %g before previous end %g", r.Order, r.StartMs, prevEnd)
+		}
+		if r.EndMs > r.Deadline+1e-9 {
+			t.Fatalf("row %d ends %g past deadline %g", r.Order, r.EndMs, r.Deadline)
+		}
+		if r.VoltageV <= 0 {
+			t.Fatalf("row %d executed with no voltage", r.Order)
+		}
+		su := s.Plan.Subs[r.Order]
+		ceff := s.Plan.Set.Tasks[su.TaskIndex].Ceff
+		energy += ceff * r.VoltageV * r.VoltageV * r.ObservedCycles
+		prevEnd = r.EndMs
+		perInstance[su.InstanceIndex] += r.ObservedCycles
+	}
+	want, over, err := s.EnergyUnder(actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over > 1e-9 {
+		t.Fatalf("ACEC execution overshoots a deadline by %g", over)
+	}
+	if math.Abs(energy-want) > 1e-6*want {
+		t.Errorf("row-derived energy %g, EnergyUnder %g", energy, want)
+	}
+	// Observed cycles account for the full actual workload of each instance.
+	for idx, sum := range perInstance {
+		if math.Abs(sum-actual[idx]) > 1e-9 {
+			t.Errorf("instance %d observed %g cycles, actual %g", idx, sum, actual[idx])
+		}
+	}
+	if _, err := RuntimeRows(s, actual[:1]); err == nil {
+		t.Error("short actual vector accepted")
+	}
+}
+
+func TestRuntimeCSVShape(t *testing.T) {
+	s := buildSchedule(t)
+	actual := make([]float64, len(s.Plan.Instances))
+	for i, in := range s.Plan.Instances {
+		actual[i] = s.Plan.Set.Tasks[in.TaskIndex].BCEC
+	}
+	csv, err := RuntimeCSV(s, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if !strings.HasPrefix(lines[0], "order,task,instance,sub,release_ms,deadline_ms,predicted_cycles,observed_cycles,") {
+		t.Errorf("header %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("no data rows")
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 11 {
+			t.Errorf("malformed CSV row %q", l)
+		}
+	}
+}
+
+func TestRuntimeGanttRender(t *testing.T) {
+	s := buildSchedule(t)
+	actual := make([]float64, len(s.Plan.Instances))
+	for i, in := range s.Plan.Instances {
+		actual[i] = s.Plan.Set.Tasks[in.TaskIndex].ACEC
+	}
+	g, err := RuntimeGantt(s, actual, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g, "runtime execution") || !strings.Contains(g, "#") {
+		t.Errorf("Gantt missing content:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != s.Plan.Set.N()+2 {
+		t.Errorf("%d lines", len(lines))
+	}
+	if _, err := RuntimeGantt(s, actual[:1], 60); err == nil {
+		t.Error("short actual vector accepted")
+	}
+}
