@@ -42,7 +42,9 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/grid"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -64,6 +66,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		simWorkers  = fs.Int("simworkers", 0, "simulation workers per compare (0 = GOMAXPROCS; responses identical for any value)")
 		simReps     = fs.Int("hyperperiods", 200, "default hyper-periods per compare simulation")
 		maxTasks    = fs.Int("maxtasks", 64, "admission limit on tasks per request")
+		storeDir    = fs.String("store-dir", "", "persistent store directory: solved schedules, submitted requests and session checkpoints survive restarts (empty = memory only)")
+		storeSync   = fs.Bool("store-sync", false, "fsync the persistent log after every append")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -76,7 +80,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	if *cacheMB < 0 {
 		memoBytes = -1
 	}
-	srv := server.New(server.Options{
+	opts := server.Options{
 		Workers:         *workers,
 		MemoBytes:       memoBytes,
 		BatchSize:       *batch,
@@ -85,8 +89,29 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		SimWorkers:      *simWorkers,
 		SimHyperperiods: *simReps,
 		MaxTasks:        *maxTasks,
-	})
+	}
+	if *storeDir != "" {
+		disk, err := store.Open(*storeDir, store.Options{Sync: *storeSync})
+		if err != nil {
+			return err
+		}
+		defer disk.Close()
+		// Tiered residency: the LRU memory tier keeps its -cachemb bound, the
+		// disk log underneath makes solves durable. Warm restarts repopulate
+		// the hot tier on demand (disk hits promote).
+		opts.Store = store.NewTiered(grid.NewMemStore(memoBytes), disk)
+		opts.Checkpoints = disk
+	}
+	srv := server.New(opts)
 	defer srv.Close()
+
+	if *storeDir != "" {
+		restored, err := srv.RestoreSessions(ctx)
+		if err != nil {
+			return fmt.Errorf("restoring sessions: %w", err)
+		}
+		fmt.Fprintf(stdout, "schedd store %s: restored %d sessions\n", *storeDir, restored)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

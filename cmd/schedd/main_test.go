@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -68,5 +69,100 @@ func TestRunFlagErrors(t *testing.T) {
 		if err := run(context.Background(), args, &out, nil); err == nil {
 			t.Errorf("args %v: expected an error", args)
 		}
+	}
+}
+
+// bootDaemon starts the daemon with args and returns its address and a stop
+// function that shuts it down cleanly.
+func bootDaemon(t *testing.T, args []string) (addr string, stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	var out strings.Builder
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(ctx, args, &out, ready) }()
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("run exited before ready: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("clean shutdown returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+}
+
+// TestWarmRestartServesFromStore is the daemon-level warm-restart smoke: a
+// schedule submitted before a full stop/boot cycle on the same -store-dir is
+// fetchable afterwards by fingerprint alone, byte-identically, served from
+// the recovered disk log rather than a re-solve.
+func TestWarmRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-addr", "127.0.0.1:0", "-batchwindow", "1ms", "-store-dir", dir}
+	body := `{"tasks":[{"name":"a","period_ms":10,"wcec":4,"acec":2,"bcec":1,"ceff":1},` +
+		`{"name":"b","period_ms":20,"wcec":6,"acec":3,"bcec":2,"ceff":1}]}`
+
+	addr, stop := bootDaemon(t, args)
+	resp, err := http.Post("http://"+addr+"/v1/schedules", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, first)
+	}
+	var sub struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(first, &sub); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	addr, stop = bootDaemon(t, args)
+	defer stop()
+	resp, err = http.Get("http://" + addr + "/v1/schedules/" + sub.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after restart: %d %s", resp.StatusCode, second)
+	}
+	if string(second) != string(first) {
+		t.Fatalf("restart changed the response bytes:\n%s\nvs\n%s", second, first)
+	}
+	resp, err = http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		Memo struct {
+			ScheduleMisses   int64 `json:"schedule_misses"`
+			DiskHits         int64 `json:"disk_hits"`
+			RecoveredEntries int64 `json:"recovered_entries"`
+		} `json:"memo"`
+	}
+	if err := json.Unmarshal(statsBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Memo.ScheduleMisses != 0 {
+		t.Errorf("warm restart re-solved %d schedules, want 0: %s", st.Memo.ScheduleMisses, statsBody)
+	}
+	if st.Memo.DiskHits == 0 || st.Memo.RecoveredEntries == 0 {
+		t.Errorf("warm restart did not serve from the recovered log: %s", statsBody)
 	}
 }

@@ -14,10 +14,20 @@
 // concurrency, batching, or cache state did in between. A mismatch fails the
 // run.
 //
+// With -restart the run becomes a warm-restart benchmark (the numbers pinned
+// in BENCH_store.json): the stream is fired against an in-process server
+// backed by a persistent store, the server is fully stopped and reopened on
+// the same directory, and the identical stream is replayed. The report then
+// carries a "restart" section comparing cold and warm solve counts — a
+// correct store makes the warm phase avoid (nearly) every re-solve — and the
+// determinism audit spans both phases, so restart-crossing byte drift fails
+// the run.
+//
 // Usage:
 //
 //	schedload -requests 200 -concurrency 8 -unique 0.25 -seed 1
 //	schedload -addr http://localhost:8372 -requests 1000 -concurrency 32
+//	schedload -restart -requests 200 -unique 0.25 -seed 1
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/task"
 	"repro/internal/workload"
 )
@@ -64,7 +75,26 @@ type report struct {
 	Errors     int             `json:"errors"`
 	Mismatches int             `json:"determinism_mismatches"`
 	Cache      *cacheReport    `json:"cache,omitempty"`
+	Restart    *restartReport  `json:"restart,omitempty"`
 	Server     json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// restartReport compares the cold phase (empty store, every unique set
+// solved) against the warm phase (same stream replayed after a full process
+// restart on the same store directory). SolveAvoidancePct is the headline:
+// the fraction of cold-phase solves the recovered store made unnecessary.
+type restartReport struct {
+	ColdScheduleMisses int64   `json:"cold_schedule_misses"`
+	WarmScheduleMisses int64   `json:"warm_schedule_misses"`
+	WarmMemHits        int64   `json:"warm_mem_hits"`
+	WarmDiskHits       int64   `json:"warm_disk_hits"`
+	RecoveredEntries   int64   `json:"recovered_entries"`
+	TornRecordsDropped int64   `json:"torn_records_dropped"`
+	SolveAvoidancePct  float64 `json:"solve_avoidance_pct"`
+	ColdDurationMs     float64 `json:"cold_duration_ms"`
+	WarmDurationMs     float64 `json:"warm_duration_ms"`
+	ColdP50Ms          float64 `json:"cold_p50_ms"`
+	WarmP50Ms          float64 `json:"warm_p50_ms"`
 }
 
 // cacheReport lifts the server memo's full accounting — hit/miss counters
@@ -100,6 +130,8 @@ func run(args []string, stdout io.Writer) error {
 		cacheMB  = fs.Int64("cachemb", 256, "in-process server: cache cap in MiB (<0 = unbounded)")
 		batch    = fs.Int("batch", 16, "in-process server: micro-batch size")
 		window   = fs.Duration("batchwindow", 2*time.Millisecond, "in-process server: batch window")
+		storeDir = fs.String("store-dir", "", "in-process server: persistent store directory (see schedd -store-dir)")
+		restart  = fs.Bool("restart", false, "measure warm-restart solve avoidance: fire the stream cold, stop the in-process server, reopen the same store, replay the identical stream (in-process only; -store-dir defaults to a temp dir)")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -110,26 +142,76 @@ func run(args []string, stdout io.Writer) error {
 	if *unique < 0 || *unique > 1 {
 		return fmt.Errorf("unique fraction must lie in [0,1], got %g", *unique)
 	}
-
-	base := *addr
-	if base == "" {
-		memoBytes := *cacheMB << 20
-		if *cacheMB < 0 {
-			memoBytes = -1
-		}
-		srv := server.New(server.Options{
-			Workers: *workers, MemoBytes: memoBytes,
-			BatchSize: *batch, BatchWindow: *window,
-		})
-		defer srv.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if *addr != "" && (*restart || *storeDir != "") {
+		return fmt.Errorf("-restart and -store-dir drive the in-process server; they cannot be combined with -addr")
+	}
+	if *restart && *storeDir == "" {
+		dir, err := os.MkdirTemp("", "schedload-store-*")
 		if err != nil {
 			return err
 		}
+		defer os.RemoveAll(dir)
+		*storeDir = dir
+	}
+
+	// launch boots the in-process server — persistent-backed when -store-dir
+	// is set — and returns its base URL plus a full-stop closure. -restart
+	// calls it twice on the same directory; that stop/relaunch pair IS the
+	// process restart being measured.
+	memoBytes := *cacheMB << 20
+	if *cacheMB < 0 {
+		memoBytes = -1
+	}
+	launch := func() (string, func() error, error) {
+		opts := server.Options{
+			Workers: *workers, MemoBytes: memoBytes,
+			BatchSize: *batch, BatchWindow: *window,
+		}
+		var disk *store.Disk
+		if *storeDir != "" {
+			d, err := store.Open(*storeDir, store.Options{})
+			if err != nil {
+				return "", nil, err
+			}
+			disk = d
+			opts.Store = store.NewTiered(grid.NewMemStore(memoBytes), disk)
+			opts.Checkpoints = disk
+		}
+		srv := server.New(opts)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			if disk != nil {
+				disk.Close()
+			}
+			return "", nil, err
+		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(ln)
-		defer hs.Shutdown(context.Background())
-		base = "http://" + ln.Addr().String()
+		stop := func() error {
+			hs.Shutdown(context.Background())
+			srv.Close()
+			if disk != nil {
+				return disk.Close()
+			}
+			return nil
+		}
+		return "http://" + ln.Addr().String(), stop, nil
+	}
+
+	base := *addr
+	var stop func() error
+	if base == "" {
+		var err error
+		base, stop, err = launch()
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if stop != nil {
+				stop()
+			}
+		}()
 	}
 	base = strings.TrimSuffix(base, "/")
 
@@ -158,96 +240,104 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
-	latencies := make([]float64, *requests)
-	responses := make([]string, *requests)
-	errCount := 0
-	var errMu sync.Mutex
+	cold := firePhase(client, base, bodies, assignment, *conc)
+	coldStats := fetchStats(client, base)
 
-	start := time.Now()
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < *conc; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/schedules", "application/json",
-					strings.NewReader(bodies[assignment[i]]))
-				lat := time.Since(t0)
-				if err != nil {
-					errMu.Lock()
-					errCount++
-					errMu.Unlock()
-					continue
-				}
-				b, rerr := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if rerr != nil || resp.StatusCode != http.StatusOK {
-					errMu.Lock()
-					errCount++
-					errMu.Unlock()
-					continue
-				}
-				latencies[i] = float64(lat.Nanoseconds()) / 1e6
-				responses[i] = string(b)
-			}
-		}()
+	var warm *phaseResult
+	var warmStats *statsCapture
+	if *restart {
+		if coldStats == nil || coldStats.parsed == nil {
+			return fmt.Errorf("cold phase yielded no server stats; cannot measure restart")
+		}
+		if err := stop(); err != nil {
+			return fmt.Errorf("stopping cold server: %w", err)
+		}
+		stop = nil
+		var err error
+		base, stop, err = launch()
+		if err != nil {
+			return fmt.Errorf("relaunching on %s: %w", *storeDir, err)
+		}
+		w := firePhase(client, base, bodies, assignment, *conc)
+		warm = &w
+		warmStats = fetchStats(client, base)
+		if warmStats == nil || warmStats.parsed == nil {
+			return fmt.Errorf("warm phase yielded no server stats")
+		}
 	}
-	for i := 0; i < *requests; i++ {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	elapsed := time.Since(start)
 
-	// Determinism audit: every request that shared a body must have received
-	// identical bytes.
+	// Determinism audit — spanning BOTH phases: a body must receive identical
+	// bytes whether it was served cold, from the warm cache, or across the
+	// restart from the recovered store.
 	first := make(map[int]string, uniqueCount)
 	mismatches := 0
-	for i, r := range responses {
-		if r == "" {
-			continue
-		}
-		if want, ok := first[assignment[i]]; !ok {
-			first[assignment[i]] = r
-		} else if r != want {
-			mismatches++
+	phases := []phaseResult{cold}
+	if warm != nil {
+		phases = append(phases, *warm)
+	}
+	for _, ph := range phases {
+		for i, r := range ph.responses {
+			if r == "" {
+				continue
+			}
+			if want, ok := first[assignment[i]]; !ok {
+				first[assignment[i]] = r
+			} else if r != want {
+				mismatches++
+			}
 		}
 	}
 
+	// The headline numbers describe the measured phase: the warm replay when
+	// -restart, the single pass otherwise.
+	measured := cold
+	snap := coldStats
+	if warm != nil {
+		measured = *warm
+		snap = warmStats
+	}
+	errCount := cold.errCount
+	if warm != nil {
+		errCount += warm.errCount
+	}
 	rep := &report{
 		Requests:    *requests,
 		UniqueSets:  uniqueCount,
 		Concurrency: *conc,
 		Seed:        *seed,
-		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		DurationMs:  float64(measured.elapsed.Nanoseconds()) / 1e6,
 		Errors:      errCount,
 		Mismatches:  mismatches,
 	}
-	rep.Throughput = float64(*requests-errCount) / elapsed.Seconds()
-	ok := make([]float64, 0, len(latencies))
-	for i, l := range latencies {
-		if responses[i] != "" {
-			ok = append(ok, l)
+	rep.Throughput = float64(*requests-measured.errCount) / measured.elapsed.Seconds()
+	rep.LatencyMs.P50 = measured.percentile(0.50)
+	rep.LatencyMs.P90 = measured.percentile(0.90)
+	rep.LatencyMs.P99 = measured.percentile(0.99)
+	rep.LatencyMs.Max = measured.percentile(1)
+	if snap != nil {
+		rep.Server = snap.raw
+		if snap.parsed != nil {
+			rep.Cache = newCacheReport(snap.parsed.Memo)
 		}
 	}
-	sort.Float64s(ok)
-	if len(ok) > 0 {
-		rep.LatencyMs.P50 = percentile(ok, 0.50)
-		rep.LatencyMs.P90 = percentile(ok, 0.90)
-		rep.LatencyMs.P99 = percentile(ok, 0.99)
-		rep.LatencyMs.Max = ok[len(ok)-1]
-	}
-	if resp, err := client.Get(base + "/v1/stats"); err == nil {
-		if b, rerr := io.ReadAll(resp.Body); rerr == nil && resp.StatusCode == http.StatusOK {
-			rep.Server = json.RawMessage(b)
-			var st server.StatsResponse
-			if json.Unmarshal(b, &st) == nil {
-				rep.Cache = newCacheReport(st.Memo)
-			}
+	if warm != nil {
+		cm, wm := coldStats.parsed.Memo, warmStats.parsed.Memo
+		rr := &restartReport{
+			ColdScheduleMisses: cm.ScheduleMisses,
+			WarmScheduleMisses: wm.ScheduleMisses,
+			WarmMemHits:        wm.MemHits,
+			WarmDiskHits:       wm.DiskHits,
+			RecoveredEntries:   wm.RecoveredEntries,
+			TornRecordsDropped: wm.TornRecordsDropped,
+			ColdDurationMs:     float64(cold.elapsed.Nanoseconds()) / 1e6,
+			WarmDurationMs:     float64(warm.elapsed.Nanoseconds()) / 1e6,
+			ColdP50Ms:          cold.percentile(0.50),
+			WarmP50Ms:          warm.percentile(0.50),
 		}
-		resp.Body.Close()
+		if cm.ScheduleMisses > 0 {
+			rr.SolveAvoidancePct = 100 * (1 - float64(wm.ScheduleMisses)/float64(cm.ScheduleMisses))
+		}
+		rep.Restart = rr
 	}
 
 	enc := json.NewEncoder(stdout)
@@ -261,7 +351,105 @@ func run(args []string, stdout io.Writer) error {
 	if errCount > 0 {
 		return fmt.Errorf("%d of %d requests failed", errCount, *requests)
 	}
+	if rep.Restart != nil && rep.Restart.SolveAvoidancePct < 90 {
+		return fmt.Errorf("warm restart avoided only %.1f%% of solves (want >= 90%%): the store did not serve recovered schedules",
+			rep.Restart.SolveAvoidancePct)
+	}
 	return nil
+}
+
+// phaseResult captures one pass of the request stream over the wire.
+type phaseResult struct {
+	latencies []float64 // sorted, successful requests only, milliseconds
+	responses []string  // indexed by request, "" on error
+	errCount  int
+	elapsed   time.Duration
+}
+
+// percentile returns the p-quantile of the phase's sorted latencies.
+func (ph *phaseResult) percentile(p float64) float64 {
+	return percentile(ph.latencies, p)
+}
+
+// firePhase fires every request in assignment order from conc concurrent
+// clients and collects latencies and response bytes.
+func firePhase(client *http.Client, base string, bodies []string, assignment []int, conc int) phaseResult {
+	n := len(assignment)
+	latencies := make([]float64, n)
+	ph := phaseResult{responses: make([]string, n)}
+	var errMu sync.Mutex
+
+	start := time.Now()
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/schedules", "application/json",
+					strings.NewReader(bodies[assignment[i]]))
+				lat := time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					ph.errCount++
+					errMu.Unlock()
+					continue
+				}
+				b, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					errMu.Lock()
+					ph.errCount++
+					errMu.Unlock()
+					continue
+				}
+				latencies[i] = float64(lat.Nanoseconds()) / 1e6
+				ph.responses[i] = string(b)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	ph.elapsed = time.Since(start)
+
+	for i, l := range latencies {
+		if ph.responses[i] != "" {
+			ph.latencies = append(ph.latencies, l)
+		}
+	}
+	sort.Float64s(ph.latencies)
+	return ph
+}
+
+// statsCapture is one /v1/stats snapshot: the raw bytes for the report plus
+// the parsed form for the cache and restart sections.
+type statsCapture struct {
+	raw    json.RawMessage
+	parsed *server.StatsResponse
+}
+
+// fetchStats snapshots the server's /v1/stats; nil if unreachable.
+func fetchStats(client *http.Client, base string) *statsCapture {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	sc := &statsCapture{raw: json.RawMessage(b)}
+	var st server.StatsResponse
+	if json.Unmarshal(b, &st) == nil {
+		sc.parsed = &st
+	}
+	return sc
 }
 
 // buildBodies generates the unique request bodies: max(1, requests·unique)

@@ -99,3 +99,68 @@ func TestRunFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRestartReport is the report-schema regression for -restart: the run
+// succeeds, the top-level report reflects the warm phase, the restart section
+// carries the cold/warm comparison with (near-)total solve avoidance, and the
+// tiered-store counters appear by name in the JSON body.
+func TestRunRestartReport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-restart", "-store-dir", dir, "-requests", "12",
+		"-concurrency", "3", "-unique", "0.3", "-seed", "7", "-ntasks", "2",
+		"-batchwindow", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Fatalf("restart run reported failures: %+v", rep)
+	}
+	rr := rep.Restart
+	if rr == nil {
+		t.Fatalf("report has no restart section:\n%s", out.String())
+	}
+	if rr.ColdScheduleMisses == 0 {
+		t.Error("cold phase solved nothing — the comparison is vacuous")
+	}
+	if rr.SolveAvoidancePct < 90 {
+		t.Errorf("solve avoidance %.1f%%, want >= 90", rr.SolveAvoidancePct)
+	}
+	if rr.WarmDiskHits == 0 || rr.RecoveredEntries == 0 {
+		t.Errorf("warm phase shows no recovered-store activity: %+v", rr)
+	}
+	if rr.TornRecordsDropped != 0 {
+		t.Errorf("clean shutdown dropped %d torn records", rr.TornRecordsDropped)
+	}
+	if rr.ColdDurationMs <= 0 || rr.WarmDurationMs <= 0 {
+		t.Errorf("missing phase durations: %+v", rr)
+	}
+	// The headline cache section must be the WARM snapshot: by then every
+	// schedule is served from some tier, never re-solved.
+	if rep.Cache == nil || rep.Cache.ScheduleMisses != 0 {
+		t.Errorf("headline cache section is not the warm phase: %+v", rep.Cache)
+	}
+	for _, field := range []string{`"restart"`, `"cold_schedule_misses"`,
+		`"warm_schedule_misses"`, `"solve_avoidance_pct"`, `"mem_hits"`,
+		`"disk_hits"`, `"recovered_entries"`, `"torn_records_dropped"`} {
+		if !strings.Contains(out.String(), field) {
+			t.Errorf("report body missing %s", field)
+		}
+	}
+}
+
+// TestRunRestartFlagErrors: -restart/-store-dir target the in-process server
+// and must be rejected alongside -addr.
+func TestRunRestartFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-restart", "-addr", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("-restart with -addr accepted")
+	}
+	if err := run([]string{"-store-dir", t.TempDir(), "-addr", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("-store-dir with -addr accepted")
+	}
+}

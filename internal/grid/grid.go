@@ -167,6 +167,15 @@ func (r *Runner) BuildScheduleContext(ctx context.Context, set *task.Set, cfg co
 // compilations of equal schedules — across ablations, policies, seeds —
 // share one plan. The returned plan is immutable by construction.
 func (r *Runner) CompileSchedule(s *core.Schedule) (*sim.CompiledPlan, error) {
+	return r.CompileScheduleContext(context.Background(), s)
+}
+
+// CompileScheduleContext is CompileSchedule carrying the requester's context
+// into the memo's singleflight layer: a waiter on a plan build torn down by
+// another caller's cancellation retries under its own context, exactly like
+// the schedule side. (Compilation itself is not cancelable — it is cheap and
+// allocation-bound — so ctx scopes only the waiting semantics.)
+func (r *Runner) CompileScheduleContext(ctx context.Context, s *core.Schedule) (*sim.CompiledPlan, error) {
 	if r.memo == nil {
 		return sim.Compile(s)
 	}
@@ -174,7 +183,7 @@ func (r *Runner) CompileSchedule(s *core.Schedule) (*sim.CompiledPlan, error) {
 	if !ok {
 		return sim.Compile(s)
 	}
-	return r.memo.plan(key, func() (*sim.CompiledPlan, error) {
+	return r.memo.plan(ctx, key, func() (*sim.CompiledPlan, error) {
 		return sim.Compile(s)
 	})
 }

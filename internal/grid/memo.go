@@ -1,7 +1,6 @@
 package grid
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"sync"
@@ -11,134 +10,135 @@ import (
 	"repro/internal/sim"
 )
 
-// Memo is the content-addressed store behind a Runner: solved schedules and
-// compiled plans keyed by their canonical content hash. It is safe for
-// concurrent use; concurrent requests for the same key are collapsed into
-// one build (singleflight), so a worker pool hammering one cell pays for one
-// solve while the rest wait for it.
+// Memo is the content-addressed cache behind a Runner: solved schedules and
+// compiled plans keyed by their canonical content hash. It is the
+// store-agnostic singleflight layer — residency itself is delegated to a
+// Store backend (the in-memory bounded LRU, the crash-safe disk log in
+// internal/store, or a tiered composition of both), while Memo owns the
+// request-stream semantics every backend must inherit identically:
+//
+//   - One build per key: concurrent requests for the same absent key are
+//     collapsed into one build (singleflight), so a worker pool hammering one
+//     cell pays for one solve while the rest wait for it.
+//   - Canceled builds are never cached: a build that fails with
+//     context.Canceled or context.DeadlineExceeded reflects the caller's
+//     lifetime, not the key's content, so it is never handed to the store.
+//   - Waiters retry under their own context: a waiter that receives a
+//     cancellation error from a build some other caller's context tore down
+//     retries against a fresh build as long as its own context is live.
+//
+// Other build errors are cached alongside values: builds are pure, so a
+// failed (set, config) fails identically every time.
 //
 // Capacity: a Memo constructed with NewMemo is unbounded — right for a batch
 // regeneration, whose working set is known and finite. A resident daemon
-// (cmd/schedd) must instead bound the store with NewBoundedMemo: entries are
-// charged an estimated byte cost when their build completes, kept in
-// least-recently-used order, and evicted from the cold end whenever the
-// resident total exceeds the cap. Eviction removes only the store's
-// reference — callers already holding an evicted schedule or plan keep a
-// valid immutable value — and never changes results, only hit rates: builds
-// are pure functions of their key, so a re-miss rebuilds the identical
-// artefact (pinned by TestBoundedMemoEvictionIdentity).
-//
-// Errors are cached alongside values: builds are pure, so a failed (set,
-// config) fails identically every time. The one exception is cancellation —
-// a build that fails with context.Canceled or context.DeadlineExceeded
-// reflects the caller's lifetime, not the key's content, so it is dropped
-// from the store immediately and the next request rebuilds.
+// (cmd/schedd) must instead bound the store with NewBoundedMemo, or supply
+// its own backend with NewMemoOn.
 type Memo struct {
-	mu        sync.Mutex
-	schedules map[Key]*schedEntry
-	plans     map[Key]*planEntry
-	capBytes  int64 // <= 0: unbounded
-	usedBytes int64
-	lru       list.List // of *lruItem; front = most recently used
+	store Store
+
+	mu           sync.Mutex // guards the flight maps
+	schedFlights map[Key]*flight[*core.Schedule]
+	planFlights  map[Key]*flight[*sim.CompiledPlan]
 
 	schedHits, schedMisses atomic.Int64
 	planHits, planMisses   atomic.Int64
-	evictions              atomic.Int64
 }
 
-// NewMemo returns an empty unbounded store.
-func NewMemo() *Memo {
+// flight is one in-progress build: waiters block on done and read val/err.
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// NewMemo returns an unbounded in-memory memo.
+func NewMemo() *Memo { return NewMemoOn(NewMemStore(0)) }
+
+// NewBoundedMemo returns an in-memory memo that evicts least-recently-used
+// entries once the estimated resident bytes exceed capBytes. A non-positive
+// capBytes means unbounded (identical to NewMemo).
+func NewBoundedMemo(capBytes int64) *Memo { return NewMemoOn(NewMemStore(capBytes)) }
+
+// NewMemoOn returns a memo over an arbitrary residency backend. The
+// singleflight/cancellation contract is supplied here; the store only holds
+// completed artefacts.
+func NewMemoOn(store Store) *Memo {
 	return &Memo{
-		schedules: make(map[Key]*schedEntry),
-		plans:     make(map[Key]*planEntry),
+		store:        store,
+		schedFlights: make(map[Key]*flight[*core.Schedule]),
+		planFlights:  make(map[Key]*flight[*sim.CompiledPlan]),
 	}
 }
 
-// NewBoundedMemo returns an empty store that evicts least-recently-used
-// entries once the estimated resident bytes exceed capBytes. A non-positive
-// capBytes means unbounded (identical to NewMemo).
-func NewBoundedMemo(capBytes int64) *Memo {
-	m := NewMemo()
-	m.capBytes = capBytes
-	return m
-}
-
-// lruItem is one resident entry's seat in the eviction order.
-type lruItem struct {
-	key   Key
-	plan  bool // which map the key lives in
-	bytes int64
-}
-
-type schedEntry struct {
-	once sync.Once
-	s    *core.Schedule
-	err  error
-	elem *list.Element // guarded by Memo.mu; nil until admitted or after eviction
-}
-
-type planEntry struct {
-	once sync.Once
-	p    *sim.CompiledPlan
-	err  error
-	elem *list.Element // guarded by Memo.mu; nil until admitted or after eviction
-}
+// Store returns the residency backend.
+func (m *Memo) Store() Store { return m.store }
 
 // schedule returns the cached schedule for key, building it exactly once
 // while resident. ctx is the *requester's* context: a waiter that receives a
-// cancellation error from an entry some other caller's context tore down
-// retries against a fresh entry (under its own build closure) as long as its
-// own context is live, so one client abandoning a shared solve can never
-// surface as an error to the clients still waiting on it.
+// cancellation error from a build some other caller's context tore down
+// retries against a fresh build as long as its own context is live, so one
+// client abandoning a shared solve can never surface as an error to the
+// clients still waiting on it.
 func (m *Memo) schedule(ctx context.Context, key Key, build func() (*core.Schedule, error)) (*core.Schedule, error) {
-	for {
-		m.mu.Lock()
-		e, hit := m.schedules[key]
-		if !hit {
-			e = &schedEntry{}
-			m.schedules[key] = e
-		} else if e.elem != nil {
-			m.lru.MoveToFront(e.elem)
-		}
-		m.mu.Unlock()
-		if hit {
-			m.schedHits.Add(1)
-		} else {
-			m.schedMisses.Add(1)
-		}
-		e.once.Do(func() {
-			e.s, e.err = build()
-			m.admitSchedule(key, e)
-		})
-		if uncacheable(e.err) && ctx != nil && ctx.Err() == nil {
-			continue // victim of another requester's cancellation
-		}
-		return e.s, e.err
-	}
+	return through(m, ctx, m.schedFlights, key, &m.schedHits, &m.schedMisses,
+		m.store.GetSchedule, m.store.PutSchedule, build)
 }
 
-// plan returns the cached compiled plan for key, building it exactly once
-// while resident.
-func (m *Memo) plan(key Key, build func() (*sim.CompiledPlan, error)) (*sim.CompiledPlan, error) {
-	m.mu.Lock()
-	e, hit := m.plans[key]
-	if !hit {
-		e = &planEntry{}
-		m.plans[key] = e
-	} else if e.elem != nil {
-		m.lru.MoveToFront(e.elem)
+// plan is schedule for the compiled-plan side, with the identical
+// requester-context retry contract.
+func (m *Memo) plan(ctx context.Context, key Key, build func() (*sim.CompiledPlan, error)) (*sim.CompiledPlan, error) {
+	return through(m, ctx, m.planFlights, key, &m.planHits, &m.planMisses,
+		m.store.GetPlan, m.store.PutPlan, build)
+}
+
+// through is the shared singleflight-over-store path. The flight is
+// registered before the store is consulted, so the store's Get/Put (which may
+// do disk I/O in a tiered backend) never runs under the flight lock and
+// concurrent requesters still build at most once. Completed cacheable builds
+// are handed to the store before the flight is deleted, so a requester
+// arriving after the flight always finds the artefact resident.
+func through[T any](
+	m *Memo, ctx context.Context, flights map[Key]*flight[T], key Key,
+	hits, misses *atomic.Int64,
+	get func(Key) (T, error, bool),
+	put func(Key, T, error),
+	build func() (T, error),
+) (T, error) {
+	for {
+		m.mu.Lock()
+		if f, ok := flights[key]; ok {
+			m.mu.Unlock()
+			hits.Add(1)
+			<-f.done
+			if uncacheable(f.err) && ctx != nil && ctx.Err() == nil {
+				continue // victim of another requester's cancellation
+			}
+			return f.val, f.err
+		}
+		f := &flight[T]{done: make(chan struct{})}
+		flights[key] = f
+		m.mu.Unlock()
+
+		if v, err, ok := get(key); ok {
+			hits.Add(1)
+			f.val, f.err = v, err
+		} else {
+			misses.Add(1)
+			f.val, f.err = build()
+			if !uncacheable(f.err) {
+				put(key, f.val, f.err)
+			}
+		}
+		m.mu.Lock()
+		delete(flights, key)
+		m.mu.Unlock()
+		close(f.done)
+		if uncacheable(f.err) && ctx != nil && ctx.Err() == nil {
+			continue
+		}
+		return f.val, f.err
 	}
-	m.mu.Unlock()
-	if hit {
-		m.planHits.Add(1)
-	} else {
-		m.planMisses.Add(1)
-	}
-	e.once.Do(func() {
-		e.p, e.err = build()
-		m.admitPlan(key, e)
-	})
-	return e.p, e.err
 }
 
 // uncacheable reports build errors that reflect the requesting caller's
@@ -148,129 +148,44 @@ func uncacheable(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// admitSchedule accounts a completed build into the LRU order (or drops a
-// canceled one) and evicts past the cap.
-func (m *Memo) admitSchedule(key Key, e *schedEntry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if uncacheable(e.err) {
-		if m.schedules[key] == e {
-			delete(m.schedules, key)
-		}
-		return
-	}
-	if m.schedules[key] != e {
-		return // already evicted and re-requested under a fresh entry
-	}
-	e.elem = m.lru.PushFront(&lruItem{key: key, bytes: scheduleBytes(e.s)})
-	m.usedBytes += e.elem.Value.(*lruItem).bytes
-	m.evict()
-}
-
-// admitPlan is admitSchedule for the plan side.
-func (m *Memo) admitPlan(key Key, e *planEntry) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if uncacheable(e.err) {
-		if m.plans[key] == e {
-			delete(m.plans, key)
-		}
-		return
-	}
-	if m.plans[key] != e {
-		return
-	}
-	e.elem = m.lru.PushFront(&lruItem{key: key, plan: true, bytes: planBytes(e.p)})
-	m.usedBytes += e.elem.Value.(*lruItem).bytes
-	m.evict()
-}
-
-// evict drops cold entries until the resident total fits the cap. Entries
-// still building are not in the LRU order yet and cannot be chosen. Called
-// with m.mu held.
-func (m *Memo) evict() {
-	if m.capBytes <= 0 {
-		return
-	}
-	for m.usedBytes > m.capBytes {
-		back := m.lru.Back()
-		if back == nil {
-			return
-		}
-		it := back.Value.(*lruItem)
-		m.lru.Remove(back)
-		m.usedBytes -= it.bytes
-		if it.plan {
-			if e, ok := m.plans[it.key]; ok {
-				e.elem = nil
-				delete(m.plans, it.key)
-			}
-		} else {
-			if e, ok := m.schedules[it.key]; ok {
-				e.elem = nil
-				delete(m.schedules, it.key)
-			}
-		}
-		m.evictions.Add(1)
-	}
-}
-
-// scheduleBytes estimates the resident cost of a cached schedule: the solved
-// vectors, the derived average workloads, and the preemptive plan it pins
-// (sub-instances, instances, per-instance position lists). The estimate is
-// for eviction accounting only — it need not be exact, just proportional.
-func scheduleBytes(s *core.Schedule) int64 {
-	const entryOverhead = 512 // entry, map slot, LRU seat, struct headers
-	if s == nil || s.Plan == nil {
-		return entryOverhead
-	}
-	n := int64(len(s.Plan.Subs))
-	inst := int64(len(s.Plan.Instances))
-	return entryOverhead +
-		n*(3*8+64) + // End/WCWork/AvgWork + preempt.Sub
-		inst*(32+8) // instance records + ByInstance positions
-}
-
-// planBytes estimates the resident cost of a cached compiled plan: eleven
-// per-piece float/index columns plus three per-instance parameter columns.
-func planBytes(p *sim.CompiledPlan) int64 {
-	const entryOverhead = 512
-	if p == nil {
-		return entryOverhead
-	}
-	return entryOverhead + int64(p.Pieces())*(10*8+4) + int64(p.Instances())*3*8
-}
-
-// Stats is a snapshot of the store's accounting. A "miss" is the first
-// request for a key while no entry is resident (it pays for the build); every
-// later request for the same resident key is a "hit" even if it arrived while
-// the build was in flight. Eviction returns a key to the miss-on-next-request
-// state without ever changing what that request returns.
+// Stats is a snapshot of the memo's accounting. A "miss" is the first request
+// for a key while no entry is resident in any tier (it pays for the build);
+// every later request for the same resident key is a "hit" even if it arrived
+// while the build was in flight. Eviction returns a key to the
+// miss-on-next-request state without ever changing what that request returns.
+// The tier and disk fields are zero for purely in-memory backends.
 type Stats struct {
 	ScheduleHits   int64 `json:"schedule_hits"`
 	ScheduleMisses int64 `json:"schedule_misses"`
 	PlanHits       int64 `json:"plan_hits"`
 	PlanMisses     int64 `json:"plan_misses"`
-	// Evictions counts entries dropped to respect the byte cap.
+	// Evictions counts entries dropped to respect the memory tier's byte cap.
 	Evictions int64 `json:"evictions"`
-	// BytesUsed is the estimated resident size of all completed entries;
-	// BytesCap is the configured cap (0 = unbounded).
+	// BytesUsed is the estimated resident size of the memory tier;
+	// BytesCap is its configured cap (0 = unbounded).
 	BytesUsed int64 `json:"bytes_used"`
 	BytesCap  int64 `json:"bytes_cap"`
+	// MemHits/DiskHits split a tiered backend's schedule hits by the tier
+	// that answered (a disk hit repopulates the memory tier on the way out).
+	MemHits  int64 `json:"mem_hits"`
+	DiskHits int64 `json:"disk_hits"`
+	// DiskEntries/DiskBytes describe the disk tier's resident log.
+	DiskEntries int64 `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	// RecoveredEntries counts records indexed by the recovery scan when the
+	// disk tier opened; TornRecordsDropped counts the truncations that scan
+	// performed (a torn tail record and everything after it is dropped).
+	RecoveredEntries   int64 `json:"recovered_entries"`
+	TornRecordsDropped int64 `json:"torn_records_dropped"`
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters: the request-stream hit/miss accounting owned
+// here, merged with the backend's residency accounting.
 func (m *Memo) Stats() Stats {
-	m.mu.Lock()
-	used, capB := m.usedBytes, m.capBytes
-	m.mu.Unlock()
-	return Stats{
-		ScheduleHits:   m.schedHits.Load(),
-		ScheduleMisses: m.schedMisses.Load(),
-		PlanHits:       m.planHits.Load(),
-		PlanMisses:     m.planMisses.Load(),
-		Evictions:      m.evictions.Load(),
-		BytesUsed:      used,
-		BytesCap:       capB,
-	}
+	st := m.store.Stats()
+	st.ScheduleHits = m.schedHits.Load()
+	st.ScheduleMisses = m.schedMisses.Load()
+	st.PlanHits = m.planHits.Load()
+	st.PlanMisses = m.planMisses.Load()
+	return st
 }

@@ -90,6 +90,29 @@ type Options struct {
 	SessionLimit int
 	// MaxObserveBatch bounds hyper-periods per observe call (default 4096).
 	MaxObserveBatch int
+	// Store, when non-nil, supplies the residency backend for the shared
+	// schedule/plan cache instead of the MemoBytes-bounded in-memory default —
+	// typically a store.Tiered (memory over the crash-safe disk log), which
+	// makes solves survive restarts. The byte-determinism contract makes the
+	// swap invisible: every backend yields identical response bytes
+	// (TestStoreBackendIdentity).
+	Store grid.Store
+	// Checkpoints, when non-nil, persists canonical requests and session
+	// controller snapshots as named blobs (store.Disk implements it), so
+	// GET /v1/schedules/{fp} and adaptive sessions survive a daemon restart
+	// via RestoreSessions. Checkpoint write failures are counted, never
+	// surfaced to clients: durability is an optimization here, not
+	// correctness.
+	Checkpoints BlobStore
+}
+
+// BlobStore is the named-blob persistence the server checkpoints into. Puts
+// must be atomic (a concurrent reader or a crash sees old or new content,
+// never a mix); store.Disk satisfies this with tmp+rename.
+type BlobStore interface {
+	PutBlob(name string, data []byte) error
+	GetBlob(name string) (data []byte, ok bool, err error)
+	ListBlobs() ([]string, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -139,15 +162,20 @@ type Server struct {
 	sessionSeq int64
 
 	nSubmits, nGets, nCompares, nSessions, nObserves atomic.Int64
+	nRestored, nCheckpointErrs                       atomic.Int64
 }
 
-// New constructs a Server with its own bounded memo and grid runner.
+// New constructs a Server with its own bounded memo and grid runner (or, when
+// Options.Store is set, a memo over the supplied backend).
 func New(opts Options) *Server {
 	o := opts.withDefaults()
 	var memo *grid.Memo
-	if o.MemoBytes > 0 {
+	switch {
+	case o.Store != nil:
+		memo = grid.NewMemoOn(o.Store)
+	case o.MemoBytes > 0:
 		memo = grid.NewBoundedMemo(o.MemoBytes)
-	} else {
+	default:
 		memo = grid.NewMemo()
 	}
 	base, cancel := context.WithCancel(context.Background())
@@ -296,6 +324,11 @@ type StatsResponse struct {
 	Sessions       int   `json:"sessions"`
 	SessionCreates int64 `json:"session_creates"`
 	Observes       int64 `json:"observes"`
+	// RestoredSessions counts sessions rebuilt from checkpoints at boot;
+	// CheckpointErrors counts failed checkpoint/request-blob writes (the
+	// affected state simply won't survive the next restart).
+	RestoredSessions int64 `json:"restored_sessions"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
 	// Memo carries the grid store's full accounting — hit/miss counters and
 	// the bounded store's eviction/byte-occupancy counters (evictions,
 	// bytes_used, bytes_cap).
@@ -421,11 +454,11 @@ func (s *Server) buildCompareResponse(ctx context.Context, cr *canonicalRequest,
 	if err != nil {
 		return solveError("acs synthesis", err)
 	}
-	pa, err := s.runner.CompileSchedule(acs)
+	pa, err := s.runner.CompileScheduleContext(ctx, acs)
 	if err != nil {
 		return solveError("acs compile", err)
 	}
-	pb, err := s.runner.CompileSchedule(wcs)
+	pb, err := s.runner.CompileScheduleContext(ctx, wcs)
 	if err != nil {
 		return solveError("wcs compile", err)
 	}
@@ -459,12 +492,23 @@ func solveError(stage string, err error) *apiError {
 	return errorf(http.StatusUnprocessableEntity, "%s: %v", stage, err)
 }
 
+// storedRequest is the persisted form of a canonical request: the canonical
+// (rate-monotonic, named) task set plus the defaulted solver knobs, so a
+// restart rebuilds the exact canonicalRequest without re-applying defaults.
+type storedRequest struct {
+	Tasks     []task.Task `json:"tasks"`
+	Objective string      `json:"objective"`
+	Starts    int         `json:"starts"`
+	SubCap    int         `json:"subcap"`
+}
+
 // remember stores cr for later GETs, evicting the oldest stored request
-// beyond StoreLimit.
+// beyond StoreLimit, and mirrors newly-seen requests into the checkpoint
+// store so GET /v1/schedules/{fp} survives a restart.
 func (s *Server) remember(fp string, cr *canonicalRequest) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.requests[fp]; ok {
+		s.mu.Unlock()
 		return
 	}
 	s.requests[fp] = cr
@@ -473,12 +517,62 @@ func (s *Server) remember(fp string, cr *canonicalRequest) {
 		delete(s.requests, s.fifo[0])
 		s.fifo = s.fifo[1:]
 	}
+	s.mu.Unlock()
+	if s.opts.Checkpoints == nil {
+		return
+	}
+	obj := "acs"
+	if cr.objective == core.WorstCase {
+		obj = "wcs"
+	}
+	blob, err := json.Marshal(&storedRequest{
+		Tasks: cr.set.Tasks, Objective: obj, Starts: cr.starts, SubCap: cr.subCap,
+	})
+	if err == nil {
+		err = s.opts.Checkpoints.PutBlob("request-"+fp, blob)
+	}
+	if err != nil {
+		s.nCheckpointErrs.Add(1)
+	}
 }
 
+// lookup resolves a fingerprint to its canonical request, falling back to
+// the checkpoint store after a restart (or FIFO eviction). A recovered blob
+// is trusted only if its recomputed fingerprint matches the name it was
+// stored under — the same content-address check the cache key provides.
 func (s *Server) lookup(fp string) *canonicalRequest {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.requests[fp]
+	cr := s.requests[fp]
+	s.mu.Unlock()
+	if cr != nil || s.opts.Checkpoints == nil {
+		return cr
+	}
+	blob, ok, err := s.opts.Checkpoints.GetBlob("request-" + fp)
+	if err != nil || !ok {
+		return nil
+	}
+	var sr storedRequest
+	if json.Unmarshal(blob, &sr) != nil {
+		return nil
+	}
+	set, err := task.NewSet(sr.Tasks)
+	if err != nil {
+		return nil
+	}
+	cr = &canonicalRequest{set: set, starts: sr.Starts, subCap: sr.SubCap}
+	switch sr.Objective {
+	case "acs":
+		cr.objective = core.AverageCase
+	case "wcs":
+		cr.objective = core.WorstCase
+	default:
+		return nil
+	}
+	if got, e := cr.fingerprint(); e != nil || got != fp {
+		return nil // rotted or tampered blob: treat as absent
+	}
+	s.remember(fp, cr)
+	return cr
 }
 
 // decode reads a JSON body strictly: unknown fields are rejected so that a
@@ -616,18 +710,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sessions := len(s.sessions)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		Submits:        s.nSubmits.Load(),
-		Gets:           s.nGets.Load(),
-		Compares:       s.nCompares.Load(),
-		Batches:        s.disp.batches.Load(),
-		Coalesced:      s.disp.coalesced.Load(),
-		Stored:         stored,
-		Workers:        s.runner.Workers(),
-		BatchSize:      s.opts.BatchSize,
-		Sessions:       sessions,
-		SessionCreates: s.nSessions.Load(),
-		Observes:       s.nObserves.Load(),
-		Memo:           s.memo.Stats(),
+		Submits:          s.nSubmits.Load(),
+		Gets:             s.nGets.Load(),
+		Compares:         s.nCompares.Load(),
+		Batches:          s.disp.batches.Load(),
+		Coalesced:        s.disp.coalesced.Load(),
+		Stored:           stored,
+		Workers:          s.runner.Workers(),
+		BatchSize:        s.opts.BatchSize,
+		Sessions:         sessions,
+		SessionCreates:   s.nSessions.Load(),
+		Observes:         s.nObserves.Load(),
+		RestoredSessions: s.nRestored.Load(),
+		CheckpointErrors: s.nCheckpointErrs.Load(),
+		Memo:             s.memo.Stats(),
 	})
 }
 

@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -30,11 +32,138 @@ import (
 // mode-switching workload that returns to a learned regime re-solves as a
 // cache hit.
 
-// serverSession is one resident closed loop.
+// serverSession is one resident closed loop. The creation knobs ride along
+// because they are configuration, not controller state: a checkpoint stores
+// them next to the controller snapshot so a restart can rebuild the exact
+// feedback.Options the session was created with.
 type serverSession struct {
 	mu   sync.Mutex
 	id   string
 	ctrl *feedback.Controller
+
+	starts, subCap           int
+	bins                     int
+	driftDelta, driftLambda  float64
+	minSamples, relearnEvery int
+}
+
+// sessionOptions rebuilds the feedback options for this session's knobs —
+// the single definition both create and restore flow through, so a restored
+// controller solves under byte-identical configuration.
+func (s *Server) sessionOptions(sess *serverSession) feedback.Options {
+	cr := &canonicalRequest{starts: sess.starts, subCap: sess.subCap}
+	opts := feedback.Options{
+		Runner: s.runner,
+		Solver: cr.config(core.AverageCase),
+		Bins:   sess.bins,
+		Drift: feedback.DriftConfig{
+			Delta: sess.driftDelta, Lambda: sess.driftLambda, MinSamples: sess.minSamples,
+		},
+		Relearn: sess.relearnEvery,
+	}
+	opts.Solver.WarmStart = nil // managed by the controller
+	return opts
+}
+
+// sessionCheckpoint is the persisted form of one session: the creation knobs
+// plus the controller's complete fold state (feedback.ControllerState).
+type sessionCheckpoint struct {
+	ID          string                    `json:"id"`
+	Starts      int                       `json:"starts"`
+	SubCap      int                       `json:"subcap"`
+	Bins        int                       `json:"bins"`
+	DriftDelta  float64                   `json:"drift_delta"`
+	DriftLambda float64                   `json:"drift_lambda"`
+	MinSamples  int                       `json:"min_samples"`
+	Relearn     int                       `json:"relearn"`
+	Controller  *feedback.ControllerState `json:"controller"`
+}
+
+// checkpointSession atomically replaces the session's checkpoint blob.
+// Callers hold sess.mu (Snapshot must be serialised with ObserveChunk).
+// Failures are counted, never surfaced: a session that cannot checkpoint
+// still serves — it just won't survive the next restart.
+func (s *Server) checkpointSession(sess *serverSession) {
+	if s.opts.Checkpoints == nil {
+		return
+	}
+	blob, err := json.Marshal(&sessionCheckpoint{
+		ID: sess.id, Starts: sess.starts, SubCap: sess.subCap, Bins: sess.bins,
+		DriftDelta: sess.driftDelta, DriftLambda: sess.driftLambda,
+		MinSamples: sess.minSamples, Relearn: sess.relearnEvery,
+		Controller: sess.ctrl.Snapshot(),
+	})
+	if err == nil {
+		err = s.opts.Checkpoints.PutBlob("session-"+sess.id, blob)
+	}
+	if err != nil {
+		s.nCheckpointErrs.Add(1)
+	}
+}
+
+// RestoreSessions rebuilds every checkpointed session from the blob store —
+// call once at boot, before serving. Each controller is restored through
+// feedback.RestoreController (its model re-solve is a content-store hit on a
+// warm restart) and resumes its observation stream exactly where the last
+// checkpoint left it: the next observe answers byte-identically to what an
+// uninterrupted daemon would have answered. The session-id sequence resumes
+// past the highest restored id. Corrupt checkpoints are skipped and counted
+// as checkpoint errors; the session limit is enforced. ctx bounds the
+// restore solves.
+func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
+	if s.opts.Checkpoints == nil {
+		return 0, nil
+	}
+	names, err := s.opts.Checkpoints.ListBlobs()
+	if err != nil {
+		return 0, fmt.Errorf("server: listing checkpoints: %w", err)
+	}
+	restored := 0
+	for _, name := range names {
+		if !strings.HasPrefix(name, "session-") {
+			continue
+		}
+		blob, ok, err := s.opts.Checkpoints.GetBlob(name)
+		if err != nil || !ok {
+			s.nCheckpointErrs.Add(1)
+			continue
+		}
+		var cp sessionCheckpoint
+		if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil ||
+			cp.ID == "" || "session-"+cp.ID != name {
+			s.nCheckpointErrs.Add(1)
+			continue
+		}
+		sess := &serverSession{
+			id: cp.ID, starts: cp.Starts, subCap: cp.SubCap, bins: cp.Bins,
+			driftDelta: cp.DriftDelta, driftLambda: cp.DriftLambda,
+			minSamples: cp.MinSamples, relearnEvery: cp.Relearn,
+		}
+		ctrl, err := feedback.RestoreController(ctx, cp.Controller, s.sessionOptions(sess))
+		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return restored, err // canceled boot, not a bad checkpoint
+			}
+			s.nCheckpointErrs.Add(1)
+			continue
+		}
+		sess.ctrl = ctrl
+		var seq int64
+		fmt.Sscanf(cp.ID, "s%d", &seq)
+		s.mu.Lock()
+		if len(s.sessions) >= s.opts.SessionLimit {
+			s.mu.Unlock()
+			continue
+		}
+		s.sessions[cp.ID] = sess
+		if seq > s.sessionSeq {
+			s.sessionSeq = seq
+		}
+		s.mu.Unlock()
+		restored++
+		s.nRestored.Add(1)
+	}
+	return restored, nil
 }
 
 // SessionRequest is the POST /v1/sessions body: a submit body plus the
@@ -161,24 +290,19 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, errorf(http.StatusUnprocessableEntity, "admission: %v", err))
 		return
 	}
-	opts := feedback.Options{
-		Runner: s.runner,
-		Solver: cr.config(core.AverageCase),
-		Bins:   req.Bins,
-		Drift: feedback.DriftConfig{
-			Delta: req.DriftDelta, Lambda: req.DriftLambda, MinSamples: req.MinSamples,
-		},
-		Relearn: req.Relearn,
+	sess := &serverSession{
+		starts: cr.starts, subCap: cr.subCap, bins: req.Bins,
+		driftDelta: req.DriftDelta, driftLambda: req.DriftLambda,
+		minSamples: req.MinSamples, relearnEvery: req.Relearn,
 	}
-	opts.Solver.WarmStart = nil // managed by the controller
 	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
-	ctrl, err := feedback.NewController(ctx, cr.set, opts)
+	ctrl, err := feedback.NewController(ctx, cr.set, s.sessionOptions(sess))
 	cancel()
 	if err != nil {
 		writeResult(w, solveError("session synthesis", err))
 		return
 	}
-	sess := &serverSession{ctrl: ctrl}
+	sess.ctrl = ctrl
 	// Snapshot every response field *before* the session becomes reachable:
 	// ids are predictable, so a racing observe could otherwise mutate the
 	// controller while this handler reads it un-locked.
@@ -204,6 +328,12 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 	resp.SessionID = sess.id
+	// First checkpoint: the session survives a restart even before its first
+	// observe. Under the session lock — the session is reachable now, so an
+	// early observe could otherwise snapshot mid-fold.
+	sess.mu.Lock()
+	s.checkpointSession(sess)
+	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -244,6 +374,10 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, solveError("observe", err))
 		return
 	}
+	// Checkpoint the advanced fold state before replying: once the client has
+	// seen this response, a crash-and-restore resumes at or after it — the
+	// stream never rewinds past an acknowledged observation.
+	s.checkpointSession(sess)
 	resp := &ObserveResponse{
 		SessionID: sess.id,
 		Observed:  sess.ctrl.Observed(),

@@ -1,0 +1,422 @@
+// Package store is the crash-safe persistent tier of the content-addressed
+// schedule cache (DESIGN.md §9): an append-only log of encoded schedules
+// keyed by their grid.Key, plus a small atomic blob area for session
+// checkpoints. It implements grid.Store, so a Memo can run directly on disk,
+// and composes with the in-memory tier through Tiered.
+//
+// Durability model: schedules are the expensive artefact (a solve), so only
+// they are persisted; compiled plans are cheap pure functions of schedules
+// and are recompiled on load. Every record carries its own length and
+// CRC-32C, so a crash mid-append costs at most the record being written:
+// the recovery scan on Open truncates the log at the first torn record and
+// everything before it survives. Blobs are written tmp+rename, so a reader
+// sees either the old bytes or the new bytes, never a mix.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Log record layout, little-endian:
+//
+//	magic  u32   recordMagic
+//	kind   u8    kindSchedule
+//	key    [32]  grid.Key (content address)
+//	plen   u32   payload length
+//	crc    u32   CRC-32C (Castagnoli) over kind ‖ key ‖ payload
+//	payload      core.EncodeSchedule bytes
+//
+// A record is valid iff the magic matches, the payload fits the remaining
+// file, and the CRC verifies. Anything else is a torn tail: the scan
+// truncates there and the file is again append-clean.
+const (
+	recordMagic  = 0x53435244 // "SCRD"
+	kindSchedule = 1
+	headerSize   = 4 + 1 + 32 + 4 + 4
+	// maxPayload rejects absurd lengths before any allocation; real encoded
+	// schedules are a few KiB.
+	maxPayload = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Disk store.
+type Options struct {
+	// SegmentBytes rolls the active segment once it exceeds this size
+	// (default 64 MiB). Only the active segment is ever appended to;
+	// completed segments are immutable.
+	SegmentBytes int64
+	// Sync fsyncs after every append. Off by default: the log is a cache,
+	// so losing the OS write-back window costs re-solves, not correctness —
+	// the recovery scan drops whatever tail didn't make it to the platter.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// entryLoc addresses one valid record's payload inside a segment.
+type entryLoc struct {
+	seg int
+	off int64 // payload offset within the segment file
+	n   int   // payload length
+}
+
+// Disk is the persistent grid.Store: schedules in an append-only segmented
+// log, plans never resident (recompiled on demand). All methods are safe for
+// concurrent use. Losing any suffix of the log — a crash, a torn record, a
+// deleted segment — changes hit rates, never results: keys are content
+// addresses and the decode path re-verifies structure end to end.
+type Disk struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	index   map[grid.Key]entryLoc
+	files   map[int]*os.File // open segment files by number
+	active  int              // active (append) segment number
+	size    int64            // size of the active segment
+	bytes   int64            // total valid log bytes across segments
+	closed  bool
+	hits    atomic.Int64
+	entries atomic.Int64
+
+	recovered int64 // records indexed by the recovery scan at Open
+	torn      int64 // truncation events the scan performed
+}
+
+var segmentRe = regexp.MustCompile(`^seg-(\d{6})\.log$`)
+
+// Open opens (or creates) the store rooted at dir, running the recovery
+// scan: every segment is walked record by record, valid records are indexed
+// (last write wins, though duplicates are content-equal anyway), and the
+// first torn record truncates its segment and drops all later segments —
+// they were appended after the torn point, so the log stays a prefix of the
+// write history.
+func Open(dir string, opts Options) (*Disk, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[grid.Key]entryLoc),
+		files: make(map[int]*os.File),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []int
+	for _, e := range names {
+		if m := segmentRe.FindStringSubmatch(e.Name()); m != nil {
+			var n int
+			fmt.Sscanf(m[1], "%d", &n)
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	truncated := false
+	for _, seg := range segs {
+		if truncated {
+			// Everything after a torn segment postdates the torn record;
+			// dropping it keeps the log a prefix of the write history.
+			os.Remove(d.segPath(seg))
+			continue
+		}
+		// scanSegment leaves d.active/d.size on the last scanned segment, so
+		// appends resume exactly where the valid prefix ends.
+		ok, err := d.scanSegment(seg)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		if !ok {
+			truncated = true
+			d.torn++
+		}
+	}
+	if len(segs) == 0 {
+		d.active = 0
+		if err := d.openSegment(0, true); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	d.recovered = int64(len(d.index))
+	d.entries.Store(d.recovered)
+	return d, nil
+}
+
+func (d *Disk) segPath(n int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("seg-%06d.log", n))
+}
+
+// openSegment opens segment n for appending (creating it if asked) and makes
+// it the active segment. Called with d.mu held or during Open.
+func (d *Disk) openSegment(n int, create bool) error {
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(d.segPath(n), flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	d.files[n] = f
+	d.active = n
+	d.size = st.Size()
+	return nil
+}
+
+// scanSegment walks one segment, indexing valid records. It returns ok=false
+// when it hit a torn record and truncated the file there; the caller then
+// drops every later segment.
+func (d *Disk) scanSegment(seg int) (ok bool, err error) {
+	f, err := os.OpenFile(d.segPath(seg), os.O_RDWR, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return false, fmt.Errorf("store: %w", err)
+	}
+	d.files[seg] = f
+	d.active = seg
+	size := st.Size()
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < size {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			break // short header: torn
+		}
+		magic := binary.LittleEndian.Uint32(hdr[0:])
+		kind := hdr[4]
+		var key grid.Key
+		copy(key[:], hdr[5:37])
+		plen := binary.LittleEndian.Uint32(hdr[37:])
+		want := binary.LittleEndian.Uint32(hdr[41:])
+		if magic != recordMagic || kind != kindSchedule || plen > maxPayload ||
+			off+headerSize+int64(plen) > size {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+headerSize); err != nil {
+			break
+		}
+		crc := crc32.Update(0, crcTable, hdr[4:41])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != want {
+			break
+		}
+		d.index[key] = entryLoc{seg: seg, off: off + headerSize, n: int(plen)}
+		off += headerSize + int64(plen)
+	}
+	d.size = off
+	d.bytes += off
+	if off == size {
+		return true, nil
+	}
+	if err := f.Truncate(off); err != nil {
+		return false, fmt.Errorf("store: truncating torn segment: %w", err)
+	}
+	return false, nil
+}
+
+// GetSchedule implements grid.Store: a ReadAt plus a full decode, so a
+// record that rots after the recovery scan still degrades to a miss rather
+// than a bad artefact.
+func (d *Disk) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
+	d.mu.Lock()
+	loc, ok := d.index[key]
+	var f *os.File
+	if ok {
+		f = d.files[loc.seg]
+	}
+	d.mu.Unlock()
+	if !ok || f == nil {
+		return nil, nil, false
+	}
+	payload := make([]byte, loc.n)
+	if _, err := f.ReadAt(payload, loc.off); err != nil {
+		return nil, nil, false
+	}
+	s, err := core.DecodeSchedule(payload)
+	if err != nil {
+		return nil, nil, false
+	}
+	d.hits.Add(1)
+	return s, nil, true
+}
+
+// PutSchedule implements grid.Store. Only successful solves are persisted:
+// cached failures stay an in-memory optimization, and schedules the codec
+// cannot represent (unknown model implementations) are silently skipped —
+// the store is a cache, so "not persistable" just means "miss next restart".
+func (d *Disk) PutSchedule(key grid.Key, s *core.Schedule, err error) {
+	if err != nil || s == nil {
+		return
+	}
+	payload, encErr := core.EncodeSchedule(s)
+	if encErr != nil {
+		return
+	}
+	rec := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], recordMagic)
+	rec[4] = kindSchedule
+	copy(rec[5:37], key[:])
+	binary.LittleEndian.PutUint32(rec[37:], uint32(len(payload)))
+	copy(rec[headerSize:], payload)
+	crc := crc32.Update(0, crcTable, rec[4:41])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(rec[41:], crc)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	if _, dup := d.index[key]; dup {
+		return // content-addressed: the resident record is equal
+	}
+	if d.size >= d.opts.SegmentBytes {
+		if err := d.openSegment(d.active+1, true); err != nil {
+			return
+		}
+	}
+	f := d.files[d.active]
+	// One contiguous write: a crash leaves either a complete record or a torn
+	// tail the next Open truncates — never an indexed half-record.
+	if _, err := f.WriteAt(rec, d.size); err != nil {
+		return
+	}
+	if d.opts.Sync {
+		if err := f.Sync(); err != nil {
+			return
+		}
+	}
+	d.index[key] = entryLoc{seg: d.active, off: d.size + headerSize, n: len(payload)}
+	d.size += int64(len(rec))
+	d.bytes += int64(len(rec))
+	d.entries.Add(1)
+}
+
+// GetPlan implements grid.Store: plans are never persisted (they are pure
+// functions of schedules, recompiled on demand), so every lookup misses.
+func (d *Disk) GetPlan(grid.Key) (*sim.CompiledPlan, error, bool) { return nil, nil, false }
+
+// PutPlan implements grid.Store as a no-op; see GetPlan.
+func (d *Disk) PutPlan(grid.Key, *sim.CompiledPlan, error) {}
+
+// Stats implements grid.Store: the disk tier owns log occupancy and the
+// recovery counters.
+func (d *Disk) Stats() grid.Stats {
+	d.mu.Lock()
+	bytes := d.bytes
+	d.mu.Unlock()
+	return grid.Stats{
+		DiskHits:           d.hits.Load(),
+		DiskEntries:        d.entries.Load(),
+		DiskBytes:          bytes,
+		RecoveredEntries:   d.recovered,
+		TornRecordsDropped: d.torn,
+	}
+}
+
+// Close releases the segment files. Every record already written is durable
+// per the Options.Sync policy; there is no buffered state to flush.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var first error
+	for _, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var blobNameRe = regexp.MustCompile(`^[a-zA-Z0-9._-]+$`)
+
+// PutBlob atomically replaces the named blob: the bytes land in a temp file
+// first and are renamed over the target, so a concurrent GetBlob (or a
+// crash) observes the old content or the new, never a mix.
+func (d *Disk) PutBlob(name string, data []byte) error {
+	if !blobNameRe.MatchString(name) {
+		return fmt.Errorf("store: invalid blob name %q", name)
+	}
+	path := filepath.Join(d.dir, "blobs", name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GetBlob returns the named blob's content and whether it exists.
+func (d *Disk) GetBlob(name string) ([]byte, bool, error) {
+	if !blobNameRe.MatchString(name) {
+		return nil, false, fmt.Errorf("store: invalid blob name %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(d.dir, "blobs", name))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return data, true, nil
+}
+
+// ListBlobs returns the existing blob names in sorted order, skipping
+// in-flight temp files.
+func (d *Disk) ListBlobs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(d.dir, "blobs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) == ".tmp" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Tiered composes a fast volatile tier over the durable disk log: reads
+// probe memory first and fall through to disk, promoting what they find so
+// the hot set re-forms in memory after a restart without any explicit
+// warm-up pass (warm restarts repopulate on demand). Writes land in both
+// tiers — memory for the next request, disk for the next process.
+//
+// Plans live in the memory tier only: the disk log persists schedules and
+// plans are recompiled from them, so a plan lookup that misses memory is an
+// honest miss. Cached failures likewise stay memory-only (the disk backend
+// skips them), preserving the contract that losing any tier changes hit
+// rates, never results.
+type Tiered struct {
+	mem  grid.Store
+	disk *Disk
+
+	memHits  atomic.Int64
+	diskHits atomic.Int64
+}
+
+// NewTiered returns mem layered over disk.
+func NewTiered(mem grid.Store, disk *Disk) *Tiered {
+	return &Tiered{mem: mem, disk: disk}
+}
+
+// GetSchedule implements grid.Store: memory first, then disk with promotion.
+func (t *Tiered) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
+	if s, err, ok := t.mem.GetSchedule(key); ok {
+		t.memHits.Add(1)
+		return s, err, true
+	}
+	if s, err, ok := t.disk.GetSchedule(key); ok {
+		t.diskHits.Add(1)
+		// Promote so the next request is a memory hit. MemStore puts are
+		// idempotent, so racing promotions of the same key are harmless.
+		t.mem.PutSchedule(key, s, err)
+		return s, err, true
+	}
+	return nil, nil, false
+}
+
+// PutSchedule implements grid.Store: both tiers (the disk tier itself skips
+// failures and unencodable schedules).
+func (t *Tiered) PutSchedule(key grid.Key, s *core.Schedule, err error) {
+	t.mem.PutSchedule(key, s, err)
+	t.disk.PutSchedule(key, s, err)
+}
+
+// GetPlan implements grid.Store; plans are memory-only.
+func (t *Tiered) GetPlan(key grid.Key) (*sim.CompiledPlan, error, bool) {
+	return t.mem.GetPlan(key)
+}
+
+// PutPlan implements grid.Store; plans are memory-only.
+func (t *Tiered) PutPlan(key grid.Key, p *sim.CompiledPlan, err error) {
+	t.mem.PutPlan(key, p, err)
+}
+
+// Stats implements grid.Store: the memory tier's residency accounting merged
+// with the disk tier's occupancy/recovery counters and the per-tier hit
+// split owned here.
+func (t *Tiered) Stats() grid.Stats {
+	st := t.mem.Stats()
+	dst := t.disk.Stats()
+	st.MemHits = t.memHits.Load()
+	st.DiskHits = t.diskHits.Load()
+	st.DiskEntries = dst.DiskEntries
+	st.DiskBytes = dst.DiskBytes
+	st.RecoveredEntries = dst.RecoveredEntries
+	st.TornRecordsDropped = dst.TornRecordsDropped
+	return st
+}
