@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -68,6 +69,9 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		maxTasks    = fs.Int("maxtasks", 64, "admission limit on tasks per request")
 		storeDir    = fs.String("store-dir", "", "persistent store directory: solved schedules, submitted requests and session checkpoints survive restarts (empty = memory only)")
 		storeSync   = fs.Bool("store-sync", false, "fsync the persistent log after every append")
+		inflight    = fs.Int("inflight", 256, "max concurrently admitted solving requests (overload beyond it queues, then sheds 503 + Retry-After)")
+		queueWait   = fs.Duration("queuewait", 100*time.Millisecond, "how long an over-limit request may queue for a seat before being shed")
+		solveBudget = fs.Duration("solvebudget", 0, "per-request ACS refinement budget; past it the request is answered with the WCS fallback marked degraded (0 = unlimited)")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -89,6 +93,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		SimWorkers:      *simWorkers,
 		SimHyperperiods: *simReps,
 		MaxTasks:        *maxTasks,
+		MaxInflight:     *inflight,
+		QueueWait:       *queueWait,
+		SolveBudget:     *solveBudget,
+		Logf:            log.Printf,
 	}
 	if *storeDir != "" {
 		disk, err := store.Open(*storeDir, store.Options{Sync: *storeSync})
@@ -98,9 +106,13 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		defer disk.Close()
 		// Tiered residency: the LRU memory tier keeps its -cachemb bound, the
 		// disk log underneath makes solves durable. Warm restarts repopulate
-		// the hot tier on demand (disk hits promote).
-		opts.Store = store.NewTiered(grid.NewMemStore(memoBytes), disk)
-		opts.Checkpoints = disk
+		// the hot tier on demand (disk hits promote). Checkpoints flow through
+		// the tier too, so the circuit breaker (DESIGN.md §10) sits between
+		// the daemon and the device on every durable path: a dying disk
+		// degrades the daemon to memory-only, it never fails a request.
+		tiered := store.NewTiered(grid.NewMemStore(memoBytes), disk)
+		opts.Store = tiered
+		opts.Checkpoints = tiered
 	}
 	srv := server.New(opts)
 	defer srv.Close()
@@ -123,7 +135,16 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// WriteTimeout bounds the whole handler (headers read → response written):
+	// it must dominate any legitimate solve, so it is generous — a stuck
+	// handler is reaped, a slow solve is not. IdleTimeout reaps abandoned
+	// keep-alive connections.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {

@@ -8,11 +8,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/leakcheck"
 )
 
 // TestRunServeAndShutdown boots the daemon on an ephemeral port, drives one
 // request through real HTTP, and shuts it down through context cancellation.
 func TestRunServeAndShutdown(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	var out strings.Builder

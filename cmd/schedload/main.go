@@ -23,11 +23,23 @@
 // determinism audit spans both phases, so restart-crossing byte drift fails
 // the run.
 //
+// With -faults the in-process server's store runs over a fault-injected
+// filesystem (internal/fault; the spec grammar is point=err:P, point=torn:F:P,
+// point=slow:D:P — e.g. "fs.write=torn:0.5:0.3,fs.sync=err:0.2") and the
+// server's own failpoints can be armed by the same string. The client retries
+// shed 503s with seeded-jitter exponential backoff and the report counts
+// sheds, retries, and degraded responses. Degraded bodies are excluded from
+// the determinism audit (they sit outside the byte contract by design), so
+// disk faults mid-stream must not change the audit's verdict. The
+// solve-avoidance gate of -restart is skipped under -faults: injected write
+// failures legitimately drop persists.
+//
 // Usage:
 //
 //	schedload -requests 200 -concurrency 8 -unique 0.25 -seed 1
 //	schedload -addr http://localhost:8372 -requests 1000 -concurrency 32
 //	schedload -restart -requests 200 -unique 0.25 -seed 1
+//	schedload -restart -faults "fs.write=torn:0.5:0.3" -faultseed 7
 package main
 
 import (
@@ -46,6 +58,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -72,11 +85,19 @@ type report struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"`
-	Errors     int             `json:"errors"`
-	Mismatches int             `json:"determinism_mismatches"`
-	Cache      *cacheReport    `json:"cache,omitempty"`
-	Restart    *restartReport  `json:"restart,omitempty"`
-	Server     json.RawMessage `json:"server_stats,omitempty"`
+	Errors     int `json:"errors"`
+	Mismatches int `json:"determinism_mismatches"`
+	// Robustness accounting (DESIGN.md §10), summed over all phases: Shed
+	// counts 503 responses observed (each retried with backoff), Retries the
+	// re-sent requests, Degraded the 200s served from the WCS fallback —
+	// excluded from the determinism audit.
+	Shed     int64           `json:"shed_503s"`
+	Retries  int64           `json:"retries"`
+	Degraded int64           `json:"degraded_responses"`
+	Faults   string          `json:"faults,omitempty"`
+	Cache    *cacheReport    `json:"cache,omitempty"`
+	Restart  *restartReport  `json:"restart,omitempty"`
+	Server   json.RawMessage `json:"server_stats,omitempty"`
 }
 
 // restartReport compares the cold phase (empty store, every unique set
@@ -118,20 +139,22 @@ func newCacheReport(m grid.Stats) *cacheReport {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("schedload", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "", "server base URL (empty = spin an in-process server)")
-		requests = fs.Int("requests", 200, "total submit requests to fire")
-		conc     = fs.Int("concurrency", 8, "concurrent client goroutines")
-		unique   = fs.Float64("unique", 0.25, "fraction of requests with a unique task set (the rest repeat)")
-		seed     = fs.Uint64("seed", 1, "master seed for task-set generation and the repeat mix")
-		nTasks   = fs.Int("ntasks", 4, "tasks per generated set")
-		ratio    = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio of generated sets")
-		util     = fs.Float64("util", 0.7, "worst-case utilisation of generated sets")
-		workers  = fs.Int("workers", 0, "in-process server: grid worker-pool width")
-		cacheMB  = fs.Int64("cachemb", 256, "in-process server: cache cap in MiB (<0 = unbounded)")
-		batch    = fs.Int("batch", 16, "in-process server: micro-batch size")
-		window   = fs.Duration("batchwindow", 2*time.Millisecond, "in-process server: batch window")
-		storeDir = fs.String("store-dir", "", "in-process server: persistent store directory (see schedd -store-dir)")
-		restart  = fs.Bool("restart", false, "measure warm-restart solve avoidance: fire the stream cold, stop the in-process server, reopen the same store, replay the identical stream (in-process only; -store-dir defaults to a temp dir)")
+		addr      = fs.String("addr", "", "server base URL (empty = spin an in-process server)")
+		requests  = fs.Int("requests", 200, "total submit requests to fire")
+		conc      = fs.Int("concurrency", 8, "concurrent client goroutines")
+		unique    = fs.Float64("unique", 0.25, "fraction of requests with a unique task set (the rest repeat)")
+		seed      = fs.Uint64("seed", 1, "master seed for task-set generation and the repeat mix")
+		nTasks    = fs.Int("ntasks", 4, "tasks per generated set")
+		ratio     = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio of generated sets")
+		util      = fs.Float64("util", 0.7, "worst-case utilisation of generated sets")
+		workers   = fs.Int("workers", 0, "in-process server: grid worker-pool width")
+		cacheMB   = fs.Int64("cachemb", 256, "in-process server: cache cap in MiB (<0 = unbounded)")
+		batch     = fs.Int("batch", 16, "in-process server: micro-batch size")
+		window    = fs.Duration("batchwindow", 2*time.Millisecond, "in-process server: batch window")
+		storeDir  = fs.String("store-dir", "", "in-process server: persistent store directory (see schedd -store-dir)")
+		restart   = fs.Bool("restart", false, "measure warm-restart solve avoidance: fire the stream cold, stop the in-process server, reopen the same store, replay the identical stream (in-process only; -store-dir defaults to a temp dir)")
+		faults    = fs.String("faults", "", "fault-injection spec for the in-process server (comma-separated point=mode, e.g. \"fs.write=torn:0.5:0.3,fs.sync=err:0.2\")")
+		faultSeed = fs.Uint64("faultseed", 1, "seed for the fault registry's deterministic fire decisions and the client's retry jitter")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -142,8 +165,17 @@ func run(args []string, stdout io.Writer) error {
 	if *unique < 0 || *unique > 1 {
 		return fmt.Errorf("unique fraction must lie in [0,1], got %g", *unique)
 	}
-	if *addr != "" && (*restart || *storeDir != "") {
-		return fmt.Errorf("-restart and -store-dir drive the in-process server; they cannot be combined with -addr")
+	if *addr != "" && (*restart || *storeDir != "" || *faults != "") {
+		return fmt.Errorf("-restart, -store-dir and -faults drive the in-process server; they cannot be combined with -addr")
+	}
+	var reg *fault.Registry
+	if *faults != "" {
+		specs, err := fault.ParseSpecs(*faults)
+		if err != nil {
+			return err
+		}
+		reg = fault.NewRegistry(*faultSeed)
+		reg.ArmSpecs(specs)
 	}
 	if *restart && *storeDir == "" {
 		dir, err := os.MkdirTemp("", "schedload-store-*")
@@ -166,16 +198,22 @@ func run(args []string, stdout io.Writer) error {
 		opts := server.Options{
 			Workers: *workers, MemoBytes: memoBytes,
 			BatchSize: *batch, BatchWindow: *window,
+			Faults: reg,
 		}
 		var disk *store.Disk
 		if *storeDir != "" {
-			d, err := store.Open(*storeDir, store.Options{})
+			sopts := store.Options{}
+			if reg != nil {
+				sopts.FS = fault.Inject(fault.OS(), reg)
+			}
+			d, err := store.Open(*storeDir, sopts)
 			if err != nil {
 				return "", nil, err
 			}
 			disk = d
-			opts.Store = store.NewTiered(grid.NewMemStore(memoBytes), disk)
-			opts.Checkpoints = disk
+			tiered := store.NewTiered(grid.NewMemStore(memoBytes), disk)
+			opts.Store = tiered
+			opts.Checkpoints = tiered
 		}
 		srv := server.New(opts)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -186,7 +224,12 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return "", nil, err
 		}
-		hs := &http.Server{Handler: srv.Handler()}
+		hs := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go hs.Serve(ln)
 		stop := func() error {
 			hs.Shutdown(context.Background())
@@ -240,7 +283,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
-	cold := firePhase(client, base, bodies, assignment, *conc)
+	cold := firePhase(client, base, bodies, assignment, *conc, *faultSeed)
 	coldStats := fetchStats(client, base)
 
 	var warm *phaseResult
@@ -258,7 +301,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("relaunching on %s: %w", *storeDir, err)
 		}
-		w := firePhase(client, base, bodies, assignment, *conc)
+		w := firePhase(client, base, bodies, assignment, *conc, *faultSeed+1)
 		warm = &w
 		warmStats = fetchStats(client, base)
 		if warmStats == nil || warmStats.parsed == nil {
@@ -268,7 +311,10 @@ func run(args []string, stdout io.Writer) error {
 
 	// Determinism audit — spanning BOTH phases: a body must receive identical
 	// bytes whether it was served cold, from the warm cache, or across the
-	// restart from the recovered store.
+	// restart from the recovered store. Degraded responses are excluded:
+	// whether a solve budget expired is a property of load, not of the
+	// request body, so they sit outside the byte contract — and therefore
+	// injected faults must not change the audit's verdict.
 	first := make(map[int]string, uniqueCount)
 	mismatches := 0
 	phases := []phaseResult{cold}
@@ -277,7 +323,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	for _, ph := range phases {
 		for i, r := range ph.responses {
-			if r == "" {
+			if r == "" || ph.degraded[i] {
 				continue
 			}
 			if want, ok := first[assignment[i]]; !ok {
@@ -308,6 +354,12 @@ func run(args []string, stdout io.Writer) error {
 		DurationMs:  float64(measured.elapsed.Nanoseconds()) / 1e6,
 		Errors:      errCount,
 		Mismatches:  mismatches,
+		Faults:      *faults,
+	}
+	for _, ph := range phases {
+		rep.Shed += ph.shed
+		rep.Retries += ph.retries
+		rep.Degraded += ph.nDegraded
 	}
 	rep.Throughput = float64(*requests-measured.errCount) / measured.elapsed.Seconds()
 	rep.LatencyMs.P50 = measured.percentile(0.50)
@@ -351,7 +403,11 @@ func run(args []string, stdout io.Writer) error {
 	if errCount > 0 {
 		return fmt.Errorf("%d of %d requests failed", errCount, *requests)
 	}
-	if rep.Restart != nil && rep.Restart.SolveAvoidancePct < 90 {
+	// Under injected faults the avoidance gate is meaningless: write failures
+	// legitimately drop persists, so the warm phase re-solves what the faults
+	// tore. The determinism and error gates above still hold — that is the
+	// robustness contract being smoked.
+	if rep.Restart != nil && *faults == "" && rep.Restart.SolveAvoidancePct < 90 {
 		return fmt.Errorf("warm restart avoided only %.1f%% of solves (want >= 90%%): the store did not serve recovered schedules",
 			rep.Restart.SolveAvoidancePct)
 	}
@@ -362,7 +418,11 @@ func run(args []string, stdout io.Writer) error {
 type phaseResult struct {
 	latencies []float64 // sorted, successful requests only, milliseconds
 	responses []string  // indexed by request, "" on error
+	degraded  []bool    // indexed by request: 200 served from the WCS fallback
 	errCount  int
+	shed      int64 // 503 responses observed (each retried until attempts run out)
+	retries   int64 // requests re-sent after a retryable failure
+	nDegraded int64
 	elapsed   time.Duration
 }
 
@@ -371,44 +431,95 @@ func (ph *phaseResult) percentile(p float64) float64 {
 	return percentile(ph.latencies, p)
 }
 
+// retry policy for shed requests: a 503 is the server's explicit "come back
+// shortly" (Retry-After is always attached), so the client backs off —
+// exponentially, with seeded jitter so a herd of schedload workers does not
+// re-converge on the same instant — and re-sends, up to maxAttempts total.
+// Transport-level failures retry on the same schedule; any other status is a
+// terminal error for that request.
+const (
+	maxAttempts  = 5
+	retryBackoff = 5 * time.Millisecond
+)
+
+// fireOne sends one request with retries. It returns the final body ("" on
+// error), whether the response was degraded, and the latency of the
+// successful attempt.
+func fireOne(client *http.Client, url, body string, rng *stats.RNG, ph *phaseResult, mu *sync.Mutex) (string, bool, float64) {
+	for attempt := 1; ; attempt++ {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", strings.NewReader(body))
+		lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+		retryable := err != nil
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				mu.Lock()
+				ph.shed++
+				mu.Unlock()
+				retryable = true
+			}
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				var flag struct {
+					Degraded bool `json:"degraded"`
+				}
+				json.Unmarshal(b, &flag)
+				return string(b), flag.Degraded, lat
+			}
+		}
+		if !retryable || attempt == maxAttempts {
+			return "", false, 0
+		}
+		mu.Lock()
+		ph.retries++
+		backoff := retryBackoff << (attempt - 1)
+		jitter := time.Duration(rng.Uniform(0, float64(backoff)))
+		mu.Unlock()
+		time.Sleep(backoff + jitter)
+	}
+}
+
 // firePhase fires every request in assignment order from conc concurrent
-// clients and collects latencies and response bytes.
-func firePhase(client *http.Client, base string, bodies []string, assignment []int, conc int) phaseResult {
+// clients and collects latencies, response bytes, and robustness counters.
+// jitterSeed seeds the per-worker backoff jitter streams.
+func firePhase(client *http.Client, base string, bodies []string, assignment []int, conc int, jitterSeed uint64) phaseResult {
 	n := len(assignment)
 	latencies := make([]float64, n)
-	ph := phaseResult{responses: make([]string, n)}
-	var errMu sync.Mutex
+	ph := phaseResult{responses: make([]string, n), degraded: make([]bool, n)}
+	var mu sync.Mutex
+	jitterMaster := stats.NewRNG(jitterSeed ^ 0xbac0ff)
+	rngs := make([]*stats.RNG, conc)
+	for w := range rngs {
+		rngs[w] = jitterMaster.Split()
+	}
 
 	start := time.Now()
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idxCh {
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/schedules", "application/json",
-					strings.NewReader(bodies[assignment[i]]))
-				lat := time.Since(t0)
-				if err != nil {
-					errMu.Lock()
+				body, deg, lat := fireOne(client, base+"/v1/schedules",
+					bodies[assignment[i]], rngs[w], &ph, &mu)
+				if body == "" {
+					mu.Lock()
 					ph.errCount++
-					errMu.Unlock()
+					mu.Unlock()
 					continue
 				}
-				b, rerr := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if rerr != nil || resp.StatusCode != http.StatusOK {
-					errMu.Lock()
-					ph.errCount++
-					errMu.Unlock()
-					continue
+				if deg {
+					mu.Lock()
+					ph.nDegraded++
+					mu.Unlock()
 				}
-				latencies[i] = float64(lat.Nanoseconds()) / 1e6
-				ph.responses[i] = string(b)
+				latencies[i] = lat
+				ph.responses[i] = body
+				ph.degraded[i] = deg
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		idxCh <- i

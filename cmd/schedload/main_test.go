@@ -5,12 +5,14 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/leakcheck"
 	"repro/internal/workload"
 )
 
 // TestRunInProcess: a small in-process load run completes with zero errors
 // and zero determinism mismatches, and its report parses.
 func TestRunInProcess(t *testing.T) {
+	leakcheck.Check(t)
 	var out strings.Builder
 	err := run([]string{"-requests", "12", "-concurrency", "3", "-unique", "0.3",
 		"-seed", "7", "-ntasks", "2", "-batchwindow", "1ms"}, &out)
@@ -105,6 +107,7 @@ func TestRunFlagErrors(t *testing.T) {
 // carries the cold/warm comparison with (near-)total solve avoidance, and the
 // tiered-store counters appear by name in the JSON body.
 func TestRunRestartReport(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	var out strings.Builder
 	err := run([]string{"-restart", "-store-dir", dir, "-requests", "12",
@@ -162,5 +165,51 @@ func TestRunRestartFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-store-dir", t.TempDir(), "-addr", "http://127.0.0.1:1"}, &out); err == nil {
 		t.Error("-store-dir with -addr accepted")
+	}
+}
+
+// TestRunWithFaultsAndRestart is the fault-injected smoke (ISSUE:
+// robustness): a -restart run against a store taking torn writes and sync
+// failures must still complete with zero request errors and zero determinism
+// mismatches — disk faults cost durability (the avoidance gate is waived),
+// never correctness. The report must carry the fault spec it ran under.
+func TestRunWithFaultsAndRestart(t *testing.T) {
+	leakcheck.Check(t)
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-restart", "-store-dir", dir, "-requests", "16",
+		"-concurrency", "4", "-unique", "0.5", "-seed", "3", "-ntasks", "2",
+		"-batchwindow", "1ms",
+		"-faults", "fs.write=torn:0.5:0.3,fs.sync=err:0.2", "-faultseed", "7"}, &out)
+	if err != nil {
+		t.Fatalf("fault-injected restart run failed: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 0 {
+		t.Errorf("injected disk faults failed %d requests; degradation must be invisible", rep.Errors)
+	}
+	if rep.Mismatches != 0 {
+		t.Errorf("injected disk faults changed response bytes: %d mismatches", rep.Mismatches)
+	}
+	if rep.Faults == "" {
+		t.Error("report does not record the fault spec")
+	}
+	if rep.Restart == nil {
+		t.Fatal("report has no restart section")
+	}
+}
+
+// TestRunFaultsFlagErrors: -faults drives the in-process server and a bad
+// spec fails fast.
+func TestRunFaultsFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-faults", "fs.write=err:0.5", "-addr", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("-faults with -addr accepted")
+	}
+	if err := run([]string{"-faults", "fs.write=bogus"}, &out); err == nil {
+		t.Error("malformed fault spec accepted")
 	}
 }

@@ -1,0 +1,253 @@
+// Package fault is the deterministic fault-injection layer behind the
+// robustness tests and chaos harness (DESIGN.md §10): a seeded registry of
+// named failpoints, filesystem wrappers that convert armed failpoints into
+// injected I/O errors, torn writes and added latency (fs.go), and the
+// circuit breaker the tiered store uses to degrade to memory-only operation
+// under persistent disk failure (breaker.go).
+//
+// Determinism: every failpoint owns its own splitmix64 stream, seeded from
+// the registry seed and the point's name, and draws one value per call. For
+// a fixed seed the k-th evaluation of a point always makes the same
+// fire/pass decision — which *request* absorbs the k-th fault still depends
+// on goroutine interleaving, but the fault schedule itself is replayable,
+// and the invariants the chaos harness pins (no panics, byte-identical
+// non-degraded responses, recoverable store prefix) hold for every
+// interleaving.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error every armed failpoint returns. Callers that need
+// to distinguish injected from organic failures (tests, the chaos harness)
+// test with errors.Is; production code must not — an injected error exercises
+// exactly the path a real one would.
+var ErrInjected = errors.New("fault: injected error")
+
+// Spec arms one failpoint.
+type Spec struct {
+	// Prob is the per-call fire probability in [0,1]; 1 fires every call.
+	Prob float64
+	// After lets this many calls pass before the point starts drawing.
+	After int
+	// Count caps total fires (0 = unlimited).
+	Count int
+	// Torn, in (0,1], marks write failpoints as torn: the wrapped write
+	// persists roughly this fraction of the buffer before failing, modelling
+	// a crash mid-write rather than a clean error.
+	Torn float64
+	// Latency is added before the operation on every fire. A latency-only
+	// point (Err false) slows the operation without failing it.
+	Latency time.Duration
+	// Err makes a fire return ErrInjected (after any Latency). Points parsed
+	// from specs set it for modes "err" and "torn".
+	Err bool
+}
+
+// Outcome is one call's injection decision.
+type Outcome struct {
+	// Err is ErrInjected when the point fired with Spec.Err set.
+	Err error
+	// Torn carries Spec.Torn when the fire is a torn write.
+	Torn float64
+	// Latency to impose before the operation.
+	Latency time.Duration
+}
+
+// PointStats is one failpoint's accounting.
+type PointStats struct {
+	Calls int64 `json:"calls"`
+	Fires int64 `json:"fires"`
+}
+
+// point is one armed failpoint: its spec plus its private RNG stream.
+type point struct {
+	spec  Spec
+	state uint64 // splitmix64 state
+	calls int64
+	fires int64
+}
+
+// Registry holds the armed failpoints. The zero Registry is not usable;
+// construct with NewRegistry. A nil *Registry is valid everywhere and never
+// fires — production code passes nil and pays one nil-check per callsite.
+type Registry struct {
+	seed   uint64
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+// NewRegistry returns an empty registry; every point armed on it derives its
+// stream from seed and its own name.
+func NewRegistry(seed uint64) *Registry {
+	return &Registry{seed: seed, points: make(map[string]*point)}
+}
+
+// Arm installs (or replaces) the named failpoint. Re-arming resets the
+// point's call/fire counters and its RNG stream.
+func (r *Registry) Arm(name string, spec Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r.points[name] = &point{spec: spec, state: r.seed ^ h.Sum64()}
+}
+
+// Disarm removes the named failpoint; later Evals pass cleanly. Counters are
+// discarded with the point, so snapshot first if they matter.
+func (r *Registry) Disarm(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.points, name)
+}
+
+// DisarmAll clears every failpoint — the "faults clear" transition the
+// breaker-recovery tests drive.
+func (r *Registry) DisarmAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.points = make(map[string]*point)
+}
+
+// Eval draws the named point's next decision. Unarmed points (and a nil
+// registry) return the zero Outcome.
+func (r *Registry) Eval(name string) Outcome {
+	if r == nil {
+		return Outcome{}
+	}
+	r.mu.Lock()
+	p, ok := r.points[name]
+	if !ok {
+		r.mu.Unlock()
+		return Outcome{}
+	}
+	p.calls++
+	fire := false
+	if p.calls > int64(p.spec.After) &&
+		(p.spec.Count == 0 || p.fires < int64(p.spec.Count)) {
+		// splitmix64: one draw per call, consumed whether or not it fires so
+		// the stream position is a pure function of the call count.
+		p.state += 0x9e3779b97f4a7c15
+		z := p.state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		fire = float64(z>>11)/(1<<53) < p.spec.Prob
+	}
+	if fire {
+		p.fires++
+	}
+	spec := p.spec
+	r.mu.Unlock()
+	if !fire {
+		return Outcome{}
+	}
+	out := Outcome{Torn: spec.Torn, Latency: spec.Latency}
+	if spec.Err {
+		out.Err = ErrInjected
+	}
+	return out
+}
+
+// Snapshot returns per-point accounting for every armed point.
+func (r *Registry) Snapshot() map[string]PointStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]PointStats, len(r.points))
+	for name, p := range r.points {
+		out[name] = PointStats{Calls: p.calls, Fires: p.fires}
+	}
+	return out
+}
+
+// String renders the armed points and their accounting, sorted by name — the
+// form the chaos harness logs on failure.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s[calls=%d fires=%d]", n, snap[n].Calls, snap[n].Fires)
+	}
+	return b.String()
+}
+
+// ParseSpecs parses the CLI fault syntax into armable specs:
+//
+//	point=mode:prob[,point=mode:prob...]
+//
+// where mode is "err" (clean injected error), "torn:FRAC" (write fails after
+// persisting FRAC of the buffer), or "slow:DUR" (added latency, no error) —
+// e.g. "fs.write=torn:0.5:0.3,fs.read=err:0.1,fs.sync=slow:2ms:0.25".
+// For "err" the one parameter is the probability; "torn" and "slow" take
+// their own parameter first and the probability second.
+func ParseSpecs(s string) (map[string]Spec, error) {
+	out := make(map[string]Spec)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(item), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fault: bad spec %q (want point=mode:prob)", item)
+		}
+		parts := strings.Split(rest, ":")
+		mode := parts[0]
+		var spec Spec
+		var probStr string
+		switch {
+		case mode == "err" && len(parts) == 2:
+			spec.Err = true
+			probStr = parts[1]
+		case mode == "torn" && len(parts) == 3:
+			frac, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || frac <= 0 || frac > 1 {
+				return nil, fmt.Errorf("fault: bad torn fraction in %q", item)
+			}
+			spec.Err = true
+			spec.Torn = frac
+			probStr = parts[2]
+		case mode == "slow" && len(parts) == 3:
+			d, err := time.ParseDuration(parts[1])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("fault: bad slow duration in %q", item)
+			}
+			spec.Latency = d
+			probStr = parts[2]
+		default:
+			return nil, fmt.Errorf("fault: bad mode in %q (want err:P, torn:F:P or slow:D:P)", item)
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("fault: bad probability in %q", item)
+		}
+		spec.Prob = prob
+		out[name] = spec
+	}
+	return out, nil
+}
+
+// ArmSpecs arms every parsed spec on the registry.
+func (r *Registry) ArmSpecs(specs map[string]Spec) {
+	for name, spec := range specs {
+		r.Arm(name, spec)
+	}
+}

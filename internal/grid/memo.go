@@ -177,6 +177,19 @@ type Stats struct {
 	// performed (a torn tail record and everything after it is dropped).
 	RecoveredEntries   int64 `json:"recovered_entries"`
 	TornRecordsDropped int64 `json:"torn_records_dropped"`
+	// Disk-health and degraded-mode accounting (DESIGN.md §10; zero for
+	// purely in-memory backends). DiskReadErrs/DiskWriteErrs count failed
+	// device operations; BreakerState is the tiered backend's circuit
+	// breaker position ("closed", "open", "half-open"); BreakerTrips and
+	// BreakerRecloses count open transitions and completed recoveries; and
+	// MemDegraded reports that the breaker is currently holding the store in
+	// memory-only residency (disk skipped, requests still served).
+	DiskReadErrs    int64  `json:"disk_read_errs"`
+	DiskWriteErrs   int64  `json:"disk_write_errs"`
+	BreakerState    string `json:"breaker_state,omitempty"`
+	BreakerTrips    int64  `json:"breaker_trips"`
+	BreakerRecloses int64  `json:"breaker_recloses"`
+	MemDegraded     bool   `json:"mem_degraded,omitempty"`
 }
 
 // Stats snapshots the counters: the request-stream hit/miss accounting owned

@@ -1,0 +1,60 @@
+// Package leakcheck fails tests that leak goroutines. It is the shared
+// helper behind the robustness suite's "no goroutine left behind" checks
+// (DESIGN.md §10): every daemon shutdown path — server.Close, schedload runs,
+// chaos harness teardown — must return the process to its pre-test goroutine
+// population.
+//
+// The check is a snapshot diff: Check records runtime.NumGoroutine at call
+// time and registers a cleanup that polls until the population returns to
+// that baseline (goroutines wind down asynchronously — context cancellation
+// and connection teardown are not synchronous with Close returning). If the
+// population is still elevated after the grace window, the test fails with a
+// full stack dump so the leaked goroutines are identifiable.
+//
+// Call Check before constructing the system under test, so its cleanup runs
+// after the test's own cleanups (t.Cleanup is LIFO):
+//
+//	func TestServer(t *testing.T) {
+//		leakcheck.Check(t)
+//		s, ts := newTestServer(t, Options{}) // registers ts.Close/s.Close cleanups
+//		...
+//	}
+package leakcheck
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long a cleanup waits for goroutines to wind down before
+// declaring a leak. Teardown latency (canceled solves noticing their
+// context, HTTP conns closing) is bounded and small; a real leak never
+// converges, so the window only trades failure latency for flake resistance.
+const grace = 5 * time.Second
+
+// Check snapshots the current goroutine count and registers a cleanup that
+// fails t if the count has not returned to the baseline within the grace
+// window. Call it first in the test, before anything that spawns goroutines.
+func Check(t testing.TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Idle keep-alive connections from the default client hold a pair of
+		// background goroutines each; they are pooled reuse, not a leak.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(grace)
+		n := runtime.NumGoroutine()
+		for n > base && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n <= base {
+			return
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d live at teardown, baseline %d; stacks:\n%s", n, base, buf)
+	})
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,10 @@ type dispatcher struct {
 	runner    *grid.Runner
 	batchSize int
 	window    time.Duration
+	// onPanic observes a recovered solve-pipeline panic (set by the server
+	// to count and log it). The panicking group's requesters receive a 500;
+	// the pool worker, the batch, and the daemon survive.
+	onPanic func(p any)
 
 	batches   atomic.Int64 // dispatched batches
 	coalesced atomic.Int64 // jobs that shared a group with an earlier job
@@ -127,12 +132,27 @@ func (d *dispatcher) dispatch(batch []*job) {
 			ctxs[k] = j.ctx
 		}
 		ctx, cancel := joinContexts(d.base, ctxs)
-		res := jobs[0].do(ctx)
+		res := d.runGroup(jobs[0].do, ctx)
 		cancel()
 		for _, j := range jobs {
 			j.out <- res
 		}
 	})
+}
+
+// runGroup executes one group's pipeline with panic isolation: a panic
+// anywhere in the solve path becomes a 500 for the group's requesters
+// instead of tearing down the pool goroutine (and with it the daemon).
+func (d *dispatcher) runGroup(do func(ctx context.Context) any, ctx context.Context) (res any) {
+	defer func() {
+		if p := recover(); p != nil {
+			if d.onPanic != nil {
+				d.onPanic(p)
+			}
+			res = errorf(http.StatusInternalServerError, "internal error")
+		}
+	}()
+	return do(ctx)
 }
 
 // joinContexts derives a context that is canceled when base is done or when

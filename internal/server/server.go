@@ -31,6 +31,15 @@
 // pays for one solve; the shared grid.Memo behind the runner is bounded
 // (LRU, byte-accounted), so a resident daemon's cache cannot grow without
 // limit.
+//
+// Overload and failure degrade, never crash (DESIGN.md §10): solving
+// requests pass a bounded admission queue and are shed with 503 +
+// Retry-After past saturation; a submit whose ACS refinement exhausts the
+// per-request solve budget is answered with the WCS fallback schedule marked
+// "degraded": true (worst-case feasible, so always deadline-safe); handler
+// and solve-pipeline panics are isolated to a 500 for the one request; and a
+// store.Tiered backend with a tripped disk breaker silently serves
+// memory-only. Every one of these events is accounted in /v1/stats.
 package server
 
 import (
@@ -39,11 +48,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -98,12 +110,36 @@ type Options struct {
 	// (TestStoreBackendIdentity).
 	Store grid.Store
 	// Checkpoints, when non-nil, persists canonical requests and session
-	// controller snapshots as named blobs (store.Disk implements it), so
-	// GET /v1/schedules/{fp} and adaptive sessions survive a daemon restart
-	// via RestoreSessions. Checkpoint write failures are counted, never
-	// surfaced to clients: durability is an optimization here, not
-	// correctness.
+	// controller snapshots as named blobs (store.Disk implements it; wrap it
+	// in store.Tiered to put the daemon's circuit breaker between the server
+	// and the device), so GET /v1/schedules/{fp} and adaptive sessions
+	// survive a daemon restart via RestoreSessions. Checkpoint write
+	// failures are counted and logged once, never surfaced to clients:
+	// durability is an optimization here, not correctness.
 	Checkpoints BlobStore
+	// MaxInflight bounds concurrently admitted solving requests (submit,
+	// get, compare, session create/observe; default 256). A request that
+	// cannot claim a seat queues for up to QueueWait and is then shed with
+	// 503 + Retry-After — overload costs queued latency or a clean
+	// retryable rejection, never an unbounded pileup.
+	MaxInflight int
+	// QueueWait is how long an over-limit request may wait for a seat
+	// before being shed (default 100ms).
+	QueueWait time.Duration
+	// SolveBudget bounds the ACS refinement of each submit/get request
+	// (0 = unlimited). A request whose ACS solve exceeds the budget is
+	// answered with the already-built WCS schedule marked "degraded": true —
+	// the paper's worst-case-feasible fallback as the degraded-mode
+	// contract. The WCS baseline itself is never budgeted: it is the
+	// fallback's existence proof and is cheap relative to ACS refinement.
+	SolveBudget time.Duration
+	// Faults, when non-nil, arms the server's own failpoints
+	// ("handler.panic", "pipeline.panic") for the chaos harness. Production
+	// deployments leave it nil.
+	Faults *fault.Registry
+	// Logf, when non-nil, receives operational log lines (panics, the first
+	// checkpoint failure). Responses never depend on it.
+	Logf func(format string, args ...any)
 }
 
 // BlobStore is the named-blob persistence the server checkpoints into. Puts
@@ -140,6 +176,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxObserveBatch <= 0 {
 		o.MaxObserveBatch = 4096
 	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -155,6 +197,10 @@ type Server struct {
 	base   context.Context
 	cancel context.CancelFunc
 
+	// admit is the bounded admission semaphore for solving endpoints: a
+	// request sends to claim a seat and receives to release it.
+	admit chan struct{}
+
 	mu         sync.Mutex
 	requests   map[string]*canonicalRequest // fingerprint → canonical submit content
 	fifo       []string                     // insertion order for StoreLimit eviction
@@ -163,6 +209,8 @@ type Server struct {
 
 	nSubmits, nGets, nCompares, nSessions, nObserves atomic.Int64
 	nRestored, nCheckpointErrs                       atomic.Int64
+	nShed, nDegraded, nPanics                        atomic.Int64
+	ckptLogOnce                                      sync.Once
 }
 
 // New constructs a Server with its own bounded memo and grid runner (or, when
@@ -185,10 +233,15 @@ func New(opts Options) *Server {
 		memo:     memo,
 		base:     base,
 		cancel:   cancel,
+		admit:    make(chan struct{}, o.MaxInflight),
 		requests: make(map[string]*canonicalRequest),
 		sessions: make(map[string]*serverSession),
 	}
 	s.disp = newDispatcher(base, s.runner, o.BatchSize, o.BatchWindow)
+	s.disp.onPanic = func(p any) {
+		s.nPanics.Add(1)
+		s.logf("panic in solve pipeline: %v\n%s", p, debug.Stack())
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedules", s.handleSubmit)
 	mux.HandleFunc("GET /v1/schedules/{fp}", s.handleGet)
@@ -202,17 +255,108 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the mux wrapped in panic
+// isolation — a panicking handler costs its request a 500 and bumps a
+// counter; it never kills the daemon (solve-pipeline panics are recovered
+// one level down, in the dispatcher).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &committedWriter{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.nPanics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !cw.committed {
+					writeResult(cw, errorf(http.StatusInternalServerError, "internal error"))
+				}
+			}
+		}()
+		s.mux.ServeHTTP(cw, r)
+	})
+}
+
+// committedWriter records whether a response has started, so the panic
+// recovery path knows if a 500 can still be written.
+type committedWriter struct {
+	http.ResponseWriter
+	committed bool
+}
+
+func (w *committedWriter) WriteHeader(status int) {
+	w.committed = true
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *committedWriter) Write(p []byte) (int, error) {
+	w.committed = true
+	return w.ResponseWriter.Write(p)
+}
 
 // Close cancels the server's base context: in-flight solves stop at their
 // next sweep boundary and new requests are refused with 503.
 func (s *Server) Close() { s.cancel() }
 
-// apiError is a deterministic JSON error response.
+// logf emits an operational log line through Options.Logf (discarded when
+// unset).
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// failpoint panics when the named server failpoint is armed — the hook the
+// chaos harness uses to prove panic isolation. Inert (one nil check) in
+// production.
+func (s *Server) failpoint(name string) {
+	if s.opts.Faults != nil && s.opts.Faults.Eval(name).Err != nil {
+		panic("fault: injected panic at " + name)
+	}
+}
+
+// noteCheckpointErr counts a failed checkpoint/request-blob write. The first
+// failure is logged; the rest only count — a dying disk must not turn every
+// observe into a log line.
+func (s *Server) noteCheckpointErr(err error) {
+	s.nCheckpointErrs.Add(1)
+	s.ckptLogOnce.Do(func() {
+		s.logf("checkpoint write failing (serving continues; state will not survive a restart): %v", err)
+	})
+}
+
+// acquire claims a seat in the bounded admission queue, waiting up to
+// QueueWait when the server is saturated. It returns a release closure, or
+// the 503 the request must be shed with. The semaphore spans the whole
+// request (solve + response assembly), so MaxInflight bounds real work, not
+// just dispatch.
+func (s *Server) acquire(ctx context.Context) (func(), *apiError) {
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, nil
+	default:
+	}
+	timer := time.NewTimer(s.opts.QueueWait)
+	defer timer.Stop()
+	select {
+	case s.admit <- struct{}{}:
+		return func() { <-s.admit }, nil
+	case <-ctx.Done():
+		return nil, errorf(http.StatusServiceUnavailable, "request abandoned while queued")
+	case <-s.base.Done():
+		return nil, errorf(http.StatusServiceUnavailable, "shutting down")
+	case <-timer.C:
+		s.nShed.Add(1)
+		return nil, errorf(http.StatusServiceUnavailable,
+			"overloaded: %d requests in flight and the admission queue wait expired", s.opts.MaxInflight)
+	}
+}
+
+// apiError is a deterministic JSON error response. retryAfter carries the
+// Retry-After header value for 503s; writeResult defaults it to 1s so every
+// 503 the server emits is explicitly retryable.
 type apiError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 = writeResult's default for 503
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -285,6 +429,14 @@ type ScheduleResponse struct {
 	// consumes (paper §3.2), in the plan's total order.
 	EndMs        []float64 `json:"end_ms"`
 	WCWorkCycles []float64 `json:"wcwork_cycles"`
+	// Degraded marks a response served from the WCS fallback because the
+	// ACS refinement exceeded the solve budget (DESIGN.md §10): the
+	// schedule is the worst-case-feasible one — always deadline-safe, just
+	// not average-case optimal — and WCSAvgEnergy/ImprovementPct are
+	// absent. Degraded responses sit outside the byte-determinism contract
+	// (whether a budget expires is a property of load, not of the request
+	// body); re-fetching the fingerprint re-attempts the full ACS solve.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PolicyResult summarises one simulated schedule in a CompareResponse.
@@ -329,6 +481,15 @@ type StatsResponse struct {
 	// affected state simply won't survive the next restart).
 	RestoredSessions int64 `json:"restored_sessions"`
 	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// Robustness accounting (DESIGN.md §10). Inflight is the number of
+	// currently admitted solving requests (gauge); Shed counts requests
+	// rejected 503 by the admission queue; Degraded counts submit/get
+	// responses served from the WCS fallback after the ACS budget expired;
+	// Panics counts handler/pipeline panics isolated to a single request.
+	Inflight int   `json:"inflight"`
+	Shed     int64 `json:"shed"`
+	Degraded int64 `json:"degraded"`
+	Panics   int64 `json:"panics"`
 	// Memo carries the grid store's full accounting — hit/miss counters and
 	// the bounded store's eviction/byte-occupancy counters (evictions,
 	// bytes_used, bytes_cap).
@@ -390,6 +551,7 @@ func (cr *canonicalRequest) fingerprint() (string, *apiError) {
 // of the response is derived from solver output, never from timing or cache
 // state.
 func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest, fp string) any {
+	s.failpoint("pipeline.panic")
 	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
 		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
 	}
@@ -404,10 +566,36 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 		Tasks:       cr.set.N(),
 	}
 	if cr.objective == core.AverageCase {
+		// The ACS refinement runs under the per-request solve budget; the
+		// WCS baseline above did not — it is the degraded-mode fallback, so
+		// it must exist before the budget can be allowed to expire.
+		acsCtx, cancel := ctx, context.CancelFunc(nil)
+		if s.opts.SolveBudget > 0 {
+			acsCtx, cancel = context.WithTimeout(ctx, s.opts.SolveBudget)
+		}
 		acsCfg := cr.config(core.AverageCase)
 		acsCfg.WarmStart = wcs
-		acs, err := s.runner.BuildScheduleContext(ctx, cr.set, acsCfg)
+		acs, err := s.runner.BuildScheduleContext(acsCtx, cr.set, acsCfg)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+				// Budget exhausted, requester still here: serve the WCS
+				// schedule — worst-case feasible, deadline-safe — marked
+				// degraded instead of failing the request.
+				s.nDegraded.Add(1)
+				resp.Degraded = true
+				resp.Pieces = len(wcs.Plan.Subs)
+				resp.Sweeps = wcs.Sweeps
+				resp.PredictedEnergy = wcs.Energy
+				resp.EndMs = wcs.End
+				resp.WCWorkCycles = wcs.WCWork
+				if h, herr := cr.set.Hyperperiod(); herr == nil {
+					resp.HyperperiodMs = h
+				}
+				return resp
+			}
 			return solveError("acs synthesis", err)
 		}
 		final = acs
@@ -532,7 +720,7 @@ func (s *Server) remember(fp string, cr *canonicalRequest) {
 		err = s.opts.Checkpoints.PutBlob("request-"+fp, blob)
 	}
 	if err != nil {
-		s.nCheckpointErrs.Add(1)
+		s.noteCheckpointErr(err)
 	}
 }
 
@@ -601,9 +789,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeResult maps a pipeline result (response value or *apiError) onto the
-// wire.
+// wire. Every 503 carries a Retry-After header (DESIGN.md §10): the server
+// only answers 503 for conditions that clear — overload, shutdown of this
+// instance, a session slot freeing up — so clients are always told the
+// rejection is retryable and roughly when.
 func writeResult(w http.ResponseWriter, v any) {
 	if e, ok := v.(*apiError); ok {
+		if e.status == http.StatusServiceUnavailable {
+			secs := e.retryAfter
+			if secs <= 0 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
 		writeJSON(w, e.status, struct {
 			Error string `json:"error"`
 		}{e.msg})
@@ -614,6 +812,13 @@ func writeResult(w http.ResponseWriter, v any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.nSubmits.Add(1)
+	s.failpoint("handler.panic")
+	release, e := s.acquire(r.Context())
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	defer release()
 	var req SubmitRequest
 	if e := decode(r, &req); e != nil {
 		writeResult(w, e)
@@ -642,6 +847,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.nGets.Add(1)
+	release, e := s.acquire(r.Context())
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	defer release()
 	fp := r.PathValue("fp")
 	cr := s.lookup(fp)
 	if cr == nil {
@@ -663,6 +874,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	s.nCompares.Add(1)
+	release, e := s.acquire(r.Context())
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	defer release()
 	var req CompareRequest
 	if e := decode(r, &req); e != nil {
 		writeResult(w, e)
@@ -723,6 +940,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Observes:         s.nObserves.Load(),
 		RestoredSessions: s.nRestored.Load(),
 		CheckpointErrors: s.nCheckpointErrs.Load(),
+		Inflight:         len(s.admit),
+		Shed:             s.nShed.Load(),
+		Degraded:         s.nDegraded.Load(),
+		Panics:           s.nPanics.Load(),
 		Memo:             s.memo.Stats(),
 	})
 }

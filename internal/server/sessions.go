@@ -97,7 +97,7 @@ func (s *Server) checkpointSession(sess *serverSession) {
 		err = s.opts.Checkpoints.PutBlob("session-"+sess.id, blob)
 	}
 	if err != nil {
-		s.nCheckpointErrs.Add(1)
+		s.noteCheckpointErr(err)
 	}
 }
 
@@ -261,8 +261,23 @@ func sessionSchedule(ctrl *feedback.Controller) SessionSchedule {
 	}
 }
 
+// sessionLimitError is the create-path 503: session slots free up on a
+// human timescale (sessions live for the daemon's lifetime), so its
+// Retry-After is longer than the overload default.
+func (s *Server) sessionLimitError() *apiError {
+	e := errorf(http.StatusServiceUnavailable, "session limit (%d) reached", s.opts.SessionLimit)
+	e.retryAfter = 5
+	return e
+}
+
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.nSessions.Add(1)
+	release, e := s.acquire(r.Context())
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	defer release()
 	var req SessionRequest
 	if e := decode(r, &req); e != nil {
 		writeResult(w, e)
@@ -282,8 +297,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	full := len(s.sessions) >= s.opts.SessionLimit
 	s.mu.Unlock()
 	if full {
-		writeResult(w, errorf(http.StatusServiceUnavailable,
-			"session limit (%d) reached", s.opts.SessionLimit))
+		writeResult(w, s.sessionLimitError())
 		return
 	}
 	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
@@ -319,8 +333,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// which the memo retains — but the bound holds.
 	if len(s.sessions) >= s.opts.SessionLimit {
 		s.mu.Unlock()
-		writeResult(w, errorf(http.StatusServiceUnavailable,
-			"session limit (%d) reached", s.opts.SessionLimit))
+		writeResult(w, s.sessionLimitError())
 		return
 	}
 	s.sessionSeq++
@@ -345,6 +358,12 @@ func (s *Server) session(id string) *serverSession {
 
 func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 	s.nObserves.Add(1)
+	release, e := s.acquire(r.Context())
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
+	defer release()
 	sess := s.session(r.PathValue("id"))
 	if sess == nil {
 		writeResult(w, errorf(http.StatusNotFound, "unknown session %q", r.PathValue("id")))

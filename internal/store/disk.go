@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/sim"
 )
@@ -62,11 +63,18 @@ type Options struct {
 	// so losing the OS write-back window costs re-solves, not correctness —
 	// the recovery scan drops whatever tail didn't make it to the platter.
 	Sync bool
+	// FS supplies the filesystem (nil = the real OS). Tests and the chaos
+	// harness pass fault.Inject(fault.OS(), registry) to subject every
+	// store operation to a seeded fault schedule.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = fault.OS()
 	}
 	return o
 }
@@ -86,16 +94,20 @@ type entryLoc struct {
 type Disk struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu      sync.Mutex
 	index   map[grid.Key]entryLoc
-	files   map[int]*os.File // open segment files by number
-	active  int              // active (append) segment number
-	size    int64            // size of the active segment
-	bytes   int64            // total valid log bytes across segments
+	files   map[int]fault.File // open segment files by number
+	active  int                // active (append) segment number
+	size    int64              // size of the active segment
+	bytes   int64              // total valid log bytes across segments
 	closed  bool
 	hits    atomic.Int64
 	entries atomic.Int64
+
+	readErrs  atomic.Int64 // failed read ops (health evidence for a breaker)
+	writeErrs atomic.Int64 // failed append/sync/blob-write ops
 
 	recovered int64 // records indexed by the recovery scan at Open
 	torn      int64 // truncation events the scan performed
@@ -111,19 +123,20 @@ var segmentRe = regexp.MustCompile(`^seg-(\d{6})\.log$`)
 // write history.
 func Open(dir string, opts Options) (*Disk, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+	if err := opts.FS.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	d := &Disk{
 		dir:   dir,
 		opts:  opts,
+		fs:    opts.FS,
 		index: make(map[grid.Key]entryLoc),
-		files: make(map[int]*os.File),
+		files: make(map[int]fault.File),
 	}
-	names, err := os.ReadDir(dir)
+	names, err := opts.FS.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -141,7 +154,7 @@ func Open(dir string, opts Options) (*Disk, error) {
 		if truncated {
 			// Everything after a torn segment postdates the torn record;
 			// dropping it keeps the log a prefix of the write history.
-			os.Remove(d.segPath(seg))
+			d.fs.Remove(d.segPath(seg))
 			continue
 		}
 		// scanSegment leaves d.active/d.size on the last scanned segment, so
@@ -179,7 +192,7 @@ func (d *Disk) openSegment(n int, create bool) error {
 	if create {
 		flags |= os.O_CREATE
 	}
-	f, err := os.OpenFile(d.segPath(n), flags, 0o644)
+	f, err := d.fs.OpenFile(d.segPath(n), flags, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -198,7 +211,7 @@ func (d *Disk) openSegment(n int, create bool) error {
 // when it hit a torn record and truncated the file there; the caller then
 // drops every later segment.
 func (d *Disk) scanSegment(seg int) (ok bool, err error) {
-	f, err := os.OpenFile(d.segPath(seg), os.O_RDWR, 0o644)
+	f, err := d.fs.OpenFile(d.segPath(seg), os.O_RDWR, 0o644)
 	if err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
@@ -253,26 +266,38 @@ func (d *Disk) scanSegment(seg int) (ok bool, err error) {
 // record that rots after the recovery scan still degrades to a miss rather
 // than a bad artefact.
 func (d *Disk) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
+	s, cached, ok, _ := d.TryGetSchedule(key)
+	return s, cached, ok
+}
+
+// TryGetSchedule is GetSchedule with the device outcome exposed: ioErr is
+// non-nil when an indexed record could not be read back — health evidence a
+// tiered caller feeds its circuit breaker. A decode failure (CRC-passing
+// bytes that no longer parse) is a plain miss with nil ioErr: it is a data
+// problem, not evidence the device is gone. A miss that never touches the
+// device returns all-zero.
+func (d *Disk) TryGetSchedule(key grid.Key) (s *core.Schedule, cached error, ok bool, ioErr error) {
 	d.mu.Lock()
-	loc, ok := d.index[key]
-	var f *os.File
-	if ok {
+	loc, present := d.index[key]
+	var f fault.File
+	if present {
 		f = d.files[loc.seg]
 	}
 	d.mu.Unlock()
-	if !ok || f == nil {
-		return nil, nil, false
+	if !present || f == nil {
+		return nil, nil, false, nil
 	}
 	payload := make([]byte, loc.n)
 	if _, err := f.ReadAt(payload, loc.off); err != nil {
-		return nil, nil, false
+		d.readErrs.Add(1)
+		return nil, nil, false, fmt.Errorf("store: reading record: %w", err)
 	}
-	s, err := core.DecodeSchedule(payload)
+	sched, err := core.DecodeSchedule(payload)
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, false, nil
 	}
 	d.hits.Add(1)
-	return s, nil, true
+	return sched, nil, true, nil
 }
 
 // PutSchedule implements grid.Store. Only successful solves are persisted:
@@ -280,12 +305,20 @@ func (d *Disk) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
 // cannot represent (unknown model implementations) are silently skipped —
 // the store is a cache, so "not persistable" just means "miss next restart".
 func (d *Disk) PutSchedule(key grid.Key, s *core.Schedule, err error) {
+	d.TryPutSchedule(key, s, err)
+}
+
+// TryPutSchedule is PutSchedule with the device outcome exposed: a non-nil
+// return means the record did not land on disk (the entry will miss after
+// the next restart). Skipped puts — cached failures, unencodable schedules,
+// duplicates — return nil: nothing was asked of the device.
+func (d *Disk) TryPutSchedule(key grid.Key, s *core.Schedule, err error) error {
 	if err != nil || s == nil {
-		return
+		return nil
 	}
 	payload, encErr := core.EncodeSchedule(s)
 	if encErr != nil {
-		return
+		return nil
 	}
 	rec := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], recordMagic)
@@ -300,31 +333,38 @@ func (d *Disk) PutSchedule(key grid.Key, s *core.Schedule, err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
-		return
+		return nil
 	}
 	if _, dup := d.index[key]; dup {
-		return // content-addressed: the resident record is equal
+		return nil // content-addressed: the resident record is equal
 	}
 	if d.size >= d.opts.SegmentBytes {
 		if err := d.openSegment(d.active+1, true); err != nil {
-			return
+			d.writeErrs.Add(1)
+			return err
 		}
 	}
 	f := d.files[d.active]
 	// One contiguous write: a crash leaves either a complete record or a torn
-	// tail the next Open truncates — never an indexed half-record.
+	// tail the next Open truncates — never an indexed half-record. A failed
+	// (possibly torn) write leaves d.size where it was, so the next append
+	// overwrites the debris; whatever garbage survives past the final valid
+	// record is exactly what the next Open's scan truncates.
 	if _, err := f.WriteAt(rec, d.size); err != nil {
-		return
+		d.writeErrs.Add(1)
+		return fmt.Errorf("store: appending record: %w", err)
 	}
 	if d.opts.Sync {
 		if err := f.Sync(); err != nil {
-			return
+			d.writeErrs.Add(1)
+			return fmt.Errorf("store: syncing record: %w", err)
 		}
 	}
 	d.index[key] = entryLoc{seg: d.active, off: d.size + headerSize, n: len(payload)}
 	d.size += int64(len(rec))
 	d.bytes += int64(len(rec))
 	d.entries.Add(1)
+	return nil
 }
 
 // GetPlan implements grid.Store: plans are never persisted (they are pure
@@ -344,6 +384,8 @@ func (d *Disk) Stats() grid.Stats {
 		DiskHits:           d.hits.Load(),
 		DiskEntries:        d.entries.Load(),
 		DiskBytes:          bytes,
+		DiskReadErrs:       d.readErrs.Load(),
+		DiskWriteErrs:      d.writeErrs.Load(),
 		RecoveredEntries:   d.recovered,
 		TornRecordsDropped: d.torn,
 	}
@@ -378,11 +420,13 @@ func (d *Disk) PutBlob(name string, data []byte) error {
 	}
 	path := filepath.Join(d.dir, "blobs", name)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := d.fs.WriteFile(tmp, data, 0o644); err != nil {
+		d.writeErrs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := d.fs.Rename(tmp, path); err != nil {
+		d.fs.Remove(tmp)
+		d.writeErrs.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -393,11 +437,12 @@ func (d *Disk) GetBlob(name string) ([]byte, bool, error) {
 	if !blobNameRe.MatchString(name) {
 		return nil, false, fmt.Errorf("store: invalid blob name %q", name)
 	}
-	data, err := os.ReadFile(filepath.Join(d.dir, "blobs", name))
+	data, err := d.fs.ReadFile(filepath.Join(d.dir, "blobs", name))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
+		d.readErrs.Add(1)
 		return nil, false, fmt.Errorf("store: %w", err)
 	}
 	return data, true, nil
@@ -406,8 +451,9 @@ func (d *Disk) GetBlob(name string) ([]byte, bool, error) {
 // ListBlobs returns the existing blob names in sorted order, skipping
 // in-flight temp files.
 func (d *Disk) ListBlobs() ([]string, error) {
-	entries, err := os.ReadDir(filepath.Join(d.dir, "blobs"))
+	entries, err := d.fs.ReadDir(filepath.Join(d.dir, "blobs"))
 	if err != nil {
+		d.readErrs.Add(1)
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var names []string

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/grid"
+)
+
+// faultyOpen opens a store whose filesystem is driven by a fresh registry.
+func faultyOpen(t *testing.T, dir string, seed uint64) (*Disk, *fault.Registry) {
+	t.Helper()
+	reg := fault.NewRegistry(seed)
+	d := mustOpen(t, dir, Options{FS: fault.Inject(fault.OS(), reg)})
+	return d, reg
+}
+
+// TestDiskTornWriteRecovery: a torn append fails the put, later appends
+// overwrite the debris, and the recovery scan serves exactly the undamaged
+// prefix — every record whose put succeeded, nothing else.
+func TestDiskTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	entries := solveN(t, 4)
+	d, reg := faultyOpen(t, dir, 11)
+
+	if err := d.TryPutSchedule(entries[0].key, entries[0].s, nil); err != nil {
+		t.Fatal(err)
+	}
+	reg.Arm("fs.write", fault.Spec{Prob: 1, Err: true, Torn: 0.6})
+	if err := d.TryPutSchedule(entries[1].key, entries[1].s, nil); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn put err = %v, want ErrInjected", err)
+	}
+	reg.Disarm("fs.write")
+	if err := d.TryPutSchedule(entries[2].key, entries[2].s, nil); err != nil {
+		t.Fatalf("append after torn debris failed: %v", err)
+	}
+	// Tear the final append too, so debris survives at the very tail — the
+	// shape only the next Open's scan can clean up.
+	reg.Arm("fs.write", fault.Spec{Prob: 1, Err: true, Torn: 0.6})
+	if err := d.TryPutSchedule(entries[3].key, entries[3].s, nil); err == nil {
+		t.Fatal("tail torn put reported success")
+	}
+	if st := d.Stats(); st.DiskWriteErrs != 2 {
+		t.Fatalf("write errs = %d, want 2", st.DiskWriteErrs)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen on a clean filesystem: the recovery scan must index the two
+	// successful records and truncate the torn tail.
+	d2 := mustOpen(t, dir, Options{})
+	st := d2.Stats()
+	if st.RecoveredEntries != 2 {
+		t.Fatalf("recovered %d entries, want 2", st.RecoveredEntries)
+	}
+	if st.TornRecordsDropped != 1 {
+		t.Fatalf("torn truncations = %d, want 1", st.TornRecordsDropped)
+	}
+	wantResident(t, d2, entries[0])
+	wantResident(t, d2, entries[2])
+	for _, i := range []int{1, 3} {
+		if _, _, ok := d2.GetSchedule(entries[i].key); ok {
+			t.Fatalf("torn entry %d resident after recovery", i)
+		}
+	}
+}
+
+// TestDiskReadErrorDegradesToMiss: an indexed record whose read fails
+// degrades to a miss with the I/O error exposed to TryGetSchedule, and the
+// entry serves again once the fault clears.
+func TestDiskReadErrorDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	e := solveN(t, 1)[0]
+	d, reg := faultyOpen(t, dir, 12)
+	d.PutSchedule(e.key, e.s, nil)
+
+	reg.Arm("fs.read", fault.Spec{Prob: 1, Err: true})
+	if _, _, ok := d.GetSchedule(e.key); ok {
+		t.Fatal("read-faulted record reported resident")
+	}
+	if _, _, _, ioErr := d.TryGetSchedule(e.key); !errors.Is(ioErr, fault.ErrInjected) {
+		t.Fatalf("ioErr = %v, want ErrInjected", ioErr)
+	}
+	if st := d.Stats(); st.DiskReadErrs < 2 {
+		t.Fatalf("read errs = %d, want >= 2", st.DiskReadErrs)
+	}
+	reg.Disarm("fs.read")
+	wantResident(t, d, e)
+}
+
+// TestTieredBreakerDegradeAndRecover drives the full degradation cycle:
+// persistent disk failures trip the breaker, the store serves memory-only
+// (no failed requests), and once faults clear the cooldown probe re-closes
+// it and tiered residency resumes.
+func TestTieredBreakerDegradeAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	entries := solveN(t, 8)
+	d, reg := faultyOpen(t, dir, 13)
+	tiered := NewTieredWith(grid.NewMemStore(0), d, TieredOptions{
+		BreakerThreshold: 3, BreakerCooldown: time.Second,
+	})
+	now := time.Unix(0, 0)
+	tiered.Breaker().SetClock(func() time.Time { return now })
+
+	// Healthy: writes land in both tiers.
+	tiered.PutSchedule(entries[0].key, entries[0].s, nil)
+	if st := tiered.Stats(); st.DiskEntries != 1 || st.BreakerState != "closed" {
+		t.Fatalf("healthy stats = %+v", st)
+	}
+
+	// Persistent write failure: three distinct puts trip the breaker. Every
+	// put still lands in memory — no request-visible failure.
+	reg.Arm("fs.write", fault.Spec{Prob: 1, Err: true})
+	for i := 1; i <= 3; i++ {
+		tiered.PutSchedule(entries[i].key, entries[i].s, nil)
+	}
+	st := tiered.Stats()
+	if st.BreakerState != "open" || !st.MemDegraded || st.BreakerTrips != 1 {
+		t.Fatalf("after 3 failures: %+v", st)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, _, ok := tiered.GetSchedule(entries[i].key); !ok {
+			t.Fatalf("memory tier lost entry %d during degradation", i)
+		}
+	}
+
+	// While open: disk is never consulted (a faulted read would panic the
+	// counters otherwise) and further puts are memory-only, not scored.
+	reg.Arm("fs.read", fault.Spec{Prob: 1, Err: true})
+	tiered.PutSchedule(entries[4].key, entries[4].s, nil)
+	if _, _, ok := tiered.GetSchedule(entries[5].key); ok {
+		t.Fatal("absent key reported resident while degraded")
+	}
+	if got := tiered.Stats(); got.DiskWriteErrs != 3 || got.DiskReadErrs != 0 {
+		t.Fatalf("degraded mode still touched the disk: %+v", got)
+	}
+
+	// Blob operations fail fast while degraded.
+	if err := tiered.PutBlob("cp", []byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded PutBlob err = %v, want ErrDegraded", err)
+	}
+	if _, ok, err := tiered.GetBlob("cp"); ok || err != nil {
+		t.Fatalf("degraded GetBlob = ok=%v err=%v, want absent", ok, err)
+	}
+
+	// Faults clear, cooldown elapses: the next disk operation is the reopen
+	// probe and re-closes the breaker.
+	reg.DisarmAll()
+	now = now.Add(time.Second)
+	tiered.PutSchedule(entries[6].key, entries[6].s, nil)
+	st = tiered.Stats()
+	if st.BreakerState != "closed" || st.MemDegraded || st.BreakerRecloses != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	// Full tiered residency resumed: the post-recovery entry is durable.
+	if st.DiskEntries != 2 {
+		t.Fatalf("disk entries = %d, want 2 (pre-fault + post-recovery)", st.DiskEntries)
+	}
+	if err := tiered.PutBlob("cp", []byte("x")); err != nil {
+		t.Fatalf("recovered PutBlob failed: %v", err)
+	}
+	if _, ok, err := tiered.GetBlob("cp"); !ok || err != nil {
+		t.Fatalf("recovered GetBlob = ok=%v err=%v", ok, err)
+	}
+
+	// A half-open probe that fails re-trips immediately.
+	reg.Arm("fs.write", fault.Spec{Prob: 1, Err: true})
+	for i := 0; i < 3; i++ {
+		tiered.PutSchedule(entries[7].key, entries[7].s, nil)
+	}
+	if got := tiered.Stats(); got.BreakerState != "open" || got.BreakerTrips != 2 {
+		t.Fatalf("re-trip failed: %+v", got)
+	}
+	now = now.Add(time.Second)
+	if err := tiered.PutBlob("cp2", []byte("y")); err == nil {
+		t.Fatal("half-open probe against a still-dead disk succeeded")
+	}
+	if got := tiered.Stats(); got.BreakerState != "open" || got.BreakerTrips != 3 {
+		t.Fatalf("failed probe did not re-open: %+v", got)
+	}
+}
