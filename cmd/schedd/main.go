@@ -6,6 +6,14 @@
 //
 //	schedd -addr :8372
 //	schedd -addr :8372 -cachemb 64 -batch 32 -batchwindow 1ms -starts 4
+//	schedd -addr :8371 -peers "p0=http://h0:8371,p1=http://h1:8371" -self p0
+//
+// With -peers/-self the daemon joins a fleet (internal/fleet, DESIGN.md §11):
+// it serves as one consistent-hash peer AND as a fleet front end — requests
+// arriving from clients are routed to the key's owner (possibly itself, or a
+// replica on failure), requests already routed by a peer are served locally,
+// and session checkpoints and schedule records replicate to the key's R ring
+// owners so any replica can take over a dead owner's sessions.
 //
 // Endpoints:
 //
@@ -40,9 +48,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -72,6 +82,10 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		inflight    = fs.Int("inflight", 256, "max concurrently admitted solving requests (overload beyond it queues, then sheds 503 + Retry-After)")
 		queueWait   = fs.Duration("queuewait", 100*time.Millisecond, "how long an over-limit request may queue for a seat before being shed")
 		solveBudget = fs.Duration("solvebudget", 0, "per-request ACS refinement budget; past it the request is answered with the WCS fallback marked degraded (0 = unlimited)")
+		peersFlag   = fs.String("peers", "", "fleet mode: comma-separated name=url peer table for the whole fleet, this daemon included (e.g. \"p0=http://h0:8372,p1=http://h1:8372\")")
+		selfFlag    = fs.String("self", "", "fleet mode: this daemon's name in -peers")
+		replicas    = fs.Int("replicas", 2, "fleet mode: replication factor R — each key's records and checkpoints live on its first R ring owners")
+		vnodes      = fs.Int("vnodes", fleet.DefaultVnodes, "fleet mode: consistent-hash virtual nodes per peer")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -98,6 +112,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		SolveBudget:     *solveBudget,
 		Logf:            log.Printf,
 	}
+	var blobLocal server.BlobStore
 	if *storeDir != "" {
 		disk, err := store.Open(*storeDir, store.Options{Sync: *storeSync})
 		if err != nil {
@@ -113,16 +128,75 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		tiered := store.NewTiered(grid.NewMemStore(memoBytes), disk)
 		opts.Store = tiered
 		opts.Checkpoints = tiered
+		blobLocal = tiered
+	}
+
+	// Fleet mode (DESIGN.md §11): this daemon becomes one peer of a
+	// consistent-hash fleet. Its checkpoint writes replicate to the ring
+	// owners, it serves the peer-replication endpoints, and its public
+	// surface becomes the fleet router — locally-owned requests short-circuit
+	// back to this very server via the forwarded-marker header.
+	var ring *fleet.Ring
+	var topo *fleet.Topology
+	if *peersFlag != "" {
+		urls, err := parseFleetPeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		if _, ok := urls[*selfFlag]; !ok {
+			return fmt.Errorf("-self %q is not a name in -peers", *selfFlag)
+		}
+		names := make([]string, 0, len(urls))
+		for name := range urls {
+			names = append(names, name)
+		}
+		ring = fleet.NewRing(names, *vnodes)
+		// Per-peer timeout matches the HTTP server's WriteTimeout below: a
+		// long solve is legitimate; a dead peer refuses connections fast.
+		topo = fleet.NewTopology(urls, fleet.TopologyOptions{PeerTimeout: 2 * time.Minute})
+		defer topo.Close()
+		if blobLocal == nil {
+			blobLocal = store.NewMemBlobs()
+		}
+		opts.Checkpoints = fleet.NewReplicatedBlobs(fleet.ReplicatedBlobsOptions{
+			Local: blobLocal, Self: *selfFlag, Ring: ring, Topo: topo,
+			Replicas: *replicas, Logf: log.Printf,
+		})
+		opts.InternalBlobs = blobLocal
+	} else if *selfFlag != "" {
+		return fmt.Errorf("-self requires -peers")
 	}
 	srv := server.New(opts)
 	defer srv.Close()
 
-	if *storeDir != "" {
+	if *storeDir != "" || *peersFlag != "" {
 		restored, err := srv.RestoreSessions(ctx)
 		if err != nil {
 			return fmt.Errorf("restoring sessions: %w", err)
 		}
-		fmt.Fprintf(stdout, "schedd store %s: restored %d sessions\n", *storeDir, restored)
+		if *storeDir != "" {
+			fmt.Fprintf(stdout, "schedd store %s: restored %d sessions\n", *storeDir, restored)
+		}
+	}
+
+	handler := srv.Handler()
+	if topo != nil {
+		router := fleet.NewRouter(fleet.Options{
+			Ring: ring, Topology: topo, Replicas: *replicas,
+			Starts: *starts, MaxTasks: *maxTasks, Logf: log.Printf,
+		})
+		local := srv.Handler()
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Already-routed traffic and peer replication go straight to the
+			// local server; everything else enters through the fleet router.
+			if r.Header.Get("X-Fleet-Forwarded") != "" || strings.HasPrefix(r.URL.Path, "/v1/internal/") {
+				local.ServeHTTP(w, r)
+				return
+			}
+			router.ServeHTTP(w, r)
+		})
+		fmt.Fprintf(stdout, "schedd fleet: self=%s peers=%d replicas=%d vnodes=%d\n",
+			*selfFlag, len(ring.Peers()), *replicas, *vnodes)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -140,7 +214,7 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 	// handler is reaped, a slow solve is not. IdleTimeout reaps abandoned
 	// keep-alive connections.
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
@@ -163,4 +237,20 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return nil
 	}
 	return err
+}
+
+// parseFleetPeers parses the -peers table: comma-separated name=url entries.
+func parseFleetPeers(s string) (map[string]string, error) {
+	urls := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", part)
+		}
+		if _, dup := urls[name]; dup {
+			return nil, fmt.Errorf("duplicate peer name %q in -peers", name)
+		}
+		urls[name] = strings.TrimSuffix(url, "/")
+	}
+	return urls, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
@@ -101,6 +102,101 @@ func bootDaemon(t *testing.T, args []string) (addr string, stop func()) {
 		case <-time.After(10 * time.Second):
 			t.Fatal("daemon did not shut down")
 		}
+	}
+}
+
+// freePorts reserves n distinct ephemeral ports and releases them — fleet
+// daemons need the whole peer table before any of them binds.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]interface{ Close() error }, 0, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		lns = append(lns, ln)
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestFleetModeSmoke boots three daemons in -peers fleet mode, submits
+// through one, reads the same bytes back through another, kills a peer, and
+// shows the survivors still answering — the in-process chaos contract
+// (internal/fleet) holding across real daemon processes' wiring.
+func TestFleetModeSmoke(t *testing.T) {
+	leakcheck.Check(t)
+	addrs := freePorts(t, 3)
+	names := []string{"p0", "p1", "p2"}
+	var table []string
+	for i, n := range names {
+		table = append(table, n+"=http://"+addrs[i])
+	}
+	peers := strings.Join(table, ",")
+
+	stops := make(map[string]func())
+	for i, n := range names {
+		_, stop := bootDaemon(t, []string{
+			"-addr", addrs[i], "-peers", peers, "-self", n, "-batchwindow", "1ms",
+		})
+		stops[n] = stop
+	}
+	defer func() {
+		for _, stop := range stops {
+			if stop != nil {
+				stop()
+			}
+		}
+	}()
+
+	body := `{"tasks":[{"name":"a","period_ms":10,"wcec":4,"acec":2,"bcec":1,"ceff":1},` +
+		`{"name":"b","period_ms":20,"wcec":6,"acec":3,"bcec":2,"ceff":1}]}`
+	resp, err := http.Post("http://"+addrs[0]+"/v1/schedules", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit via p0: %d %s", resp.StatusCode, first)
+	}
+	var sub struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.Unmarshal(first, &sub); err != nil {
+		t.Fatal(err)
+	}
+	// The same fingerprint reads back byte-identically through a different
+	// front end: routing is invisible in response bytes.
+	resp, err = http.Get("http://" + addrs[2] + "/v1/schedules/" + sub.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOther, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(viaOther), sub.Fingerprint) {
+		t.Fatalf("get via p2: %d %s", resp.StatusCode, viaOther)
+	}
+
+	// Kill one peer; the fleet keeps answering, byte-identically.
+	stops["p1"]()
+	stops["p1"] = nil
+	resp, err = http.Post("http://"+addrs[0]+"/v1/schedules", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit after peer death: %d %s", resp.StatusCode, after)
+	}
+	if string(after) != string(first) {
+		t.Fatalf("peer death changed the response bytes:\n%s\nvs\n%s", after, first)
 	}
 }
 

@@ -34,12 +34,23 @@
 // solve-avoidance gate of -restart is skipped under -faults: injected write
 // failures legitimately drop persists.
 //
+// With -fleet N the run targets an N-peer fleet (internal/fleet, DESIGN.md
+// §11) instead of a single server: in-process peers behind an in-process
+// router, or — with -schedd PATH — real schedd processes in -peers/-self
+// fleet mode, entered through peer 0. -killpeer I hard-kills peer I after a
+// third of the stream; the retry client and the surviving replicas must
+// absorb the rest with zero failed requests, and the determinism audit spans
+// the kill (the numbers pinned in BENCH_fleet.json). The report gains a
+// "fleet" section with the router's per-peer forwarding/failover counters.
+//
 // Usage:
 //
 //	schedload -requests 200 -concurrency 8 -unique 0.25 -seed 1
 //	schedload -addr http://localhost:8372 -requests 1000 -concurrency 32
 //	schedload -restart -requests 200 -unique 0.25 -seed 1
 //	schedload -restart -faults "fs.write=torn:0.5:0.3" -faultseed 7
+//	schedload -fleet 3 -killpeer 1 -requests 200 -unique 0.25 -seed 1
+//	schedload -fleet 3 -schedd ./schedd -killpeer 1 -requests 40
 package main
 
 import (
@@ -51,6 +62,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
@@ -59,7 +71,9 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/fleet"
 	"repro/internal/grid"
+	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -97,7 +111,19 @@ type report struct {
 	Faults   string          `json:"faults,omitempty"`
 	Cache    *cacheReport    `json:"cache,omitempty"`
 	Restart  *restartReport  `json:"restart,omitempty"`
+	Fleet    *fleetReport    `json:"fleet,omitempty"`
 	Server   json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// fleetReport describes a -fleet run: the topology, which peer (if any) was
+// killed mid-stream, and the router's per-peer forwarding/failover counters
+// captured at the end of the run.
+type fleetReport struct {
+	Peers       int             `json:"peers"`
+	Replicas    int             `json:"replicas"`
+	Processes   bool            `json:"processes"`
+	KilledPeer  int             `json:"killed_peer"` // -1 = none
+	RouterStats json.RawMessage `json:"router_stats,omitempty"`
 }
 
 // restartReport compares the cold phase (empty store, every unique set
@@ -155,6 +181,10 @@ func run(args []string, stdout io.Writer) error {
 		restart   = fs.Bool("restart", false, "measure warm-restart solve avoidance: fire the stream cold, stop the in-process server, reopen the same store, replay the identical stream (in-process only; -store-dir defaults to a temp dir)")
 		faults    = fs.String("faults", "", "fault-injection spec for the in-process server (comma-separated point=mode, e.g. \"fs.write=torn:0.5:0.3,fs.sync=err:0.2\")")
 		faultSeed = fs.Uint64("faultseed", 1, "seed for the fault registry's deterministic fire decisions and the client's retry jitter")
+		fleetN    = fs.Int("fleet", 0, "run an N-peer fleet (internal/fleet) instead of a single server: in-process peers behind an in-process router, or OS processes with -schedd")
+		scheddBin = fs.String("schedd", "", "with -fleet: path to a schedd binary; each peer becomes a real -peers/-self fleet daemon process and the stream enters through peer 0")
+		killPeer  = fs.Int("killpeer", -1, "with -fleet: kill this peer index (it stays dead) after a third of the stream — the surviving replicas must absorb the rest")
+		replicas  = fs.Int("replicas", 2, "with -fleet: replication factor R")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -167,6 +197,22 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *addr != "" && (*restart || *storeDir != "" || *faults != "") {
 		return fmt.Errorf("-restart, -store-dir and -faults drive the in-process server; they cannot be combined with -addr")
+	}
+	if *fleetN > 0 {
+		if *addr != "" || *restart || *storeDir != "" || *faults != "" {
+			return fmt.Errorf("-fleet runs its own peers; it cannot be combined with -addr, -restart, -store-dir or -faults")
+		}
+		if *fleetN < 2 {
+			return fmt.Errorf("-fleet needs at least 2 peers, got %d", *fleetN)
+		}
+		if *killPeer >= *fleetN {
+			return fmt.Errorf("-killpeer %d is outside the %d-peer fleet", *killPeer, *fleetN)
+		}
+		if *scheddBin != "" && *killPeer == 0 {
+			return fmt.Errorf("-killpeer 0 would kill the fleet entry point in -schedd mode")
+		}
+	} else if *scheddBin != "" || *killPeer >= 0 {
+		return fmt.Errorf("-schedd and -killpeer require -fleet")
 	}
 	var reg *fault.Registry
 	if *faults != "" {
@@ -244,7 +290,19 @@ func run(args []string, stdout io.Writer) error {
 
 	base := *addr
 	var stop func() error
-	if base == "" {
+	var fh *fleetHarness
+	if *fleetN > 0 {
+		var err error
+		fh, err = launchFleet(*fleetN, *replicas, *scheddBin, server.Options{
+			Workers: *workers, MemoBytes: memoBytes,
+			BatchSize: *batch, BatchWindow: *window,
+		})
+		if err != nil {
+			return err
+		}
+		defer fh.stopAll()
+		base = fh.base
+	} else if base == "" {
 		var err error
 		base, stop, err = launch()
 		if err != nil {
@@ -283,8 +341,29 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: 60 * time.Second}
-	cold := firePhase(client, base, bodies, assignment, *conc, *faultSeed)
-	coldStats := fetchStats(client, base)
+	rc := &retry.HTTPClient{Client: client, Policy: retry.Policy{MaxAttempts: 5, Base: 5 * time.Millisecond}}
+	var cold phaseResult
+	if fh != nil && *killPeer >= 0 {
+		// A third of the stream lands on the healthy fleet, then the victim
+		// dies hard and stays dead: the surviving replicas must absorb every
+		// remaining request (the retry client rides out the blip).
+		killAt := len(assignment) / 3
+		if killAt < 1 {
+			killAt = 1
+		}
+		pre := firePhase(rc, base, bodies, assignment[:killAt], *conc, *faultSeed)
+		if err := fh.kill(*killPeer); err != nil {
+			return err
+		}
+		post := firePhase(rc, base, bodies, assignment[killAt:], *conc, *faultSeed+1000)
+		cold = mergePhases(pre, post)
+	} else {
+		cold = firePhase(rc, base, bodies, assignment, *conc, *faultSeed)
+	}
+	var coldStats *statsCapture
+	if fh == nil {
+		coldStats = fetchStats(client, base)
+	}
 
 	var warm *phaseResult
 	var warmStats *statsCapture
@@ -301,7 +380,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("relaunching on %s: %w", *storeDir, err)
 		}
-		w := firePhase(client, base, bodies, assignment, *conc, *faultSeed+1)
+		w := firePhase(rc, base, bodies, assignment, *conc, *faultSeed+1)
 		warm = &w
 		warmStats = fetchStats(client, base)
 		if warmStats == nil || warmStats.parsed == nil {
@@ -391,6 +470,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 		rep.Restart = rr
 	}
+	if fh != nil {
+		fr := &fleetReport{
+			Peers: *fleetN, Replicas: *replicas,
+			Processes: *scheddBin != "", KilledPeer: *killPeer,
+		}
+		// The front end's /v1/stats is the router's per-peer accounting in
+		// fleet mode: forwards, hedges, failovers, takeovers, breaker states.
+		if sc := fetchStats(client, base); sc != nil {
+			fr.RouterStats = sc.raw
+		}
+		rep.Fleet = fr
+	}
 
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
@@ -431,59 +522,35 @@ func (ph *phaseResult) percentile(p float64) float64 {
 	return percentile(ph.latencies, p)
 }
 
-// retry policy for shed requests: a 503 is the server's explicit "come back
-// shortly" (Retry-After is always attached), so the client backs off —
-// exponentially, with seeded jitter so a herd of schedload workers does not
-// re-converge on the same instant — and re-sends, up to maxAttempts total.
-// Transport-level failures retry on the same schedule; any other status is a
-// terminal error for that request.
-const (
-	maxAttempts  = 5
-	retryBackoff = 5 * time.Millisecond
-)
-
-// fireOne sends one request with retries. It returns the final body ("" on
-// error), whether the response was degraded, and the latency of the
-// successful attempt.
-func fireOne(client *http.Client, url, body string, rng *stats.RNG, ph *phaseResult, mu *sync.Mutex) (string, bool, float64) {
-	for attempt := 1; ; attempt++ {
-		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", strings.NewReader(body))
-		lat := float64(time.Since(t0).Nanoseconds()) / 1e6
-		retryable := err != nil
-		if err == nil {
-			b, rerr := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusServiceUnavailable {
-				mu.Lock()
-				ph.shed++
-				mu.Unlock()
-				retryable = true
-			}
-			if rerr == nil && resp.StatusCode == http.StatusOK {
-				var flag struct {
-					Degraded bool `json:"degraded"`
-				}
-				json.Unmarshal(b, &flag)
-				return string(b), flag.Degraded, lat
-			}
-		}
-		if !retryable || attempt == maxAttempts {
-			return "", false, 0
-		}
+// fireOne sends one request through the shared retry client (internal/retry:
+// seeded-jitter exponential backoff, Retry-After honored, 503s and transport
+// failures retried — the same client the fleet router paces its passes with).
+// It returns the final body ("" on error), whether the response was degraded,
+// and the wall latency of the whole exchange in milliseconds.
+func fireOne(rc *retry.HTTPClient, url, body string, rng *stats.RNG, ph *phaseResult, mu *sync.Mutex) (string, bool, float64) {
+	t0 := time.Now()
+	res, err := rc.Post(context.Background(), url, "application/json", []byte(body), rng)
+	lat := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if res != nil {
 		mu.Lock()
-		ph.retries++
-		backoff := retryBackoff << (attempt - 1)
-		jitter := time.Duration(rng.Uniform(0, float64(backoff)))
+		ph.shed += res.Sheds
+		ph.retries += res.Retries
 		mu.Unlock()
-		time.Sleep(backoff + jitter)
 	}
+	if err != nil || res == nil || res.Status != http.StatusOK {
+		return "", false, 0
+	}
+	var flag struct {
+		Degraded bool `json:"degraded"`
+	}
+	json.Unmarshal(res.Body, &flag)
+	return string(res.Body), flag.Degraded, lat
 }
 
 // firePhase fires every request in assignment order from conc concurrent
 // clients and collects latencies, response bytes, and robustness counters.
 // jitterSeed seeds the per-worker backoff jitter streams.
-func firePhase(client *http.Client, base string, bodies []string, assignment []int, conc int, jitterSeed uint64) phaseResult {
+func firePhase(rc *retry.HTTPClient, base string, bodies []string, assignment []int, conc int, jitterSeed uint64) phaseResult {
 	n := len(assignment)
 	latencies := make([]float64, n)
 	ph := phaseResult{responses: make([]string, n), degraded: make([]bool, n)}
@@ -502,7 +569,7 @@ func firePhase(client *http.Client, base string, bodies []string, assignment []i
 		go func(w int) {
 			defer wg.Done()
 			for i := range idxCh {
-				body, deg, lat := fireOne(client, base+"/v1/schedules",
+				body, deg, lat := fireOne(rc, base+"/v1/schedules",
 					bodies[assignment[i]], rngs[w], &ph, &mu)
 				if body == "" {
 					mu.Lock()
@@ -535,6 +602,196 @@ func firePhase(client *http.Client, base string, bodies []string, assignment []i
 	}
 	sort.Float64s(ph.latencies)
 	return ph
+}
+
+// mergePhases concatenates two segments of one logical stream (the pre- and
+// post-kill halves of a -killpeer run) into a single phase: responses keep
+// their stream order so the determinism audit spans the kill.
+func mergePhases(a, b phaseResult) phaseResult {
+	out := phaseResult{
+		responses: append(append([]string{}, a.responses...), b.responses...),
+		degraded:  append(append([]bool{}, a.degraded...), b.degraded...),
+		errCount:  a.errCount + b.errCount,
+		shed:      a.shed + b.shed,
+		retries:   a.retries + b.retries,
+		nDegraded: a.nDegraded + b.nDegraded,
+		elapsed:   a.elapsed + b.elapsed,
+	}
+	out.latencies = append(append([]float64{}, a.latencies...), b.latencies...)
+	sort.Float64s(out.latencies)
+	return out
+}
+
+// fleetHarness is a running fleet under test: a base URL the stream enters
+// through, a hard-kill switch for one peer, and full teardown.
+type fleetHarness struct {
+	base   string
+	killFn func(int) error
+	stopFn func()
+}
+
+func (f *fleetHarness) kill(i int) error { return f.killFn(i) }
+func (f *fleetHarness) stopAll()         { f.stopFn() }
+
+// launchFleet boots an n-peer fleet. With bin == "" the peers are in-process
+// servers behind an in-process fleet router (the wiring pinned by
+// TestFleetChaos); with bin set, each peer is a real schedd process in
+// -peers/-self fleet mode and the stream enters through peer 0's front end —
+// the multi-process smoke CI runs.
+func launchFleet(n, replicas int, bin string, sopts server.Options) (*fleetHarness, error) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%d", i)
+	}
+	if bin != "" {
+		return launchFleetProcs(names, replicas, bin)
+	}
+
+	ring := fleet.NewRing(names, fleet.DefaultVnodes)
+	// Per-peer timeout matches the serving layer's WriteTimeout: a long solve
+	// is legitimate; a dead peer fails fast by refusing the connection.
+	topo := fleet.NewTopology(nil, fleet.TopologyOptions{PeerTimeout: 2 * time.Minute})
+	type peerProc struct {
+		srv   *server.Server
+		hs    *http.Server
+		alive bool
+	}
+	peers := make([]*peerProc, 0, n)
+	cleanup := func() {
+		for _, p := range peers {
+			if p.alive {
+				p.hs.Close()
+				p.srv.Close()
+			}
+		}
+		topo.Close()
+	}
+	for _, name := range names {
+		blobs := store.NewMemBlobs()
+		po := sopts
+		po.Checkpoints = fleet.NewReplicatedBlobs(fleet.ReplicatedBlobsOptions{
+			Local: blobs, Self: name, Ring: ring, Topo: topo, Replicas: replicas,
+		})
+		po.InternalBlobs = blobs
+		srv := server.New(po)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			cleanup()
+			return nil, err
+		}
+		hs := &http.Server{
+			Handler:           srv.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go hs.Serve(ln)
+		topo.SetURL(name, "http://"+ln.Addr().String())
+		peers = append(peers, &peerProc{srv: srv, hs: hs, alive: true})
+	}
+	router := fleet.NewRouter(fleet.Options{Ring: ring, Topology: topo, Replicas: replicas})
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	rhs := &http.Server{Handler: router, ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout: 2 * time.Minute, IdleTimeout: 2 * time.Minute}
+	go rhs.Serve(rln)
+	return &fleetHarness{
+		base: "http://" + rln.Addr().String(),
+		killFn: func(i int) error {
+			if i < 0 || i >= len(peers) {
+				return fmt.Errorf("no peer %d in a %d-peer fleet", i, len(peers))
+			}
+			p := peers[i]
+			p.alive = false
+			p.srv.Close()
+			return p.hs.Close() // hard stop: in-flight connections die too
+		},
+		stopFn: func() {
+			rhs.Shutdown(context.Background())
+			cleanup()
+		},
+	}, nil
+}
+
+// launchFleetProcs runs each peer as a schedd OS process. The whole peer
+// table is pre-assigned ephemeral ports, because every daemon needs it at
+// boot; readiness is its front end answering /v1/healthz.
+func launchFleetProcs(names []string, replicas int, bin string) (*fleetHarness, error) {
+	addrs := make([]string, len(names))
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	table := make([]string, len(names))
+	for i, name := range names {
+		table[i] = name + "=http://" + addrs[i]
+	}
+	peersSpec := strings.Join(table, ",")
+
+	procs := make([]*exec.Cmd, len(names))
+	alive := make([]bool, len(names))
+	stopAll := func() {
+		for i, cmd := range procs {
+			if cmd != nil && alive[i] {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	}
+	for i, name := range names {
+		cmd := exec.Command(bin,
+			"-addr", addrs[i], "-peers", peersSpec, "-self", name,
+			"-replicas", fmt.Sprint(replicas))
+		cmd.Stdout = io.Discard
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stopAll()
+			return nil, fmt.Errorf("starting peer %s: %w", name, err)
+		}
+		procs[i], alive[i] = cmd, true
+	}
+	probe := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(30 * time.Second)
+	for i := range names {
+		for {
+			resp, err := probe.Get("http://" + addrs[i] + "/v1/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				stopAll()
+				return nil, fmt.Errorf("peer %s never became ready on %s", names[i], addrs[i])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	probe.CloseIdleConnections()
+	return &fleetHarness{
+		base: "http://" + addrs[0],
+		killFn: func(i int) error {
+			if i < 0 || i >= len(procs) {
+				return fmt.Errorf("no peer %d in a %d-peer fleet", i, len(procs))
+			}
+			alive[i] = false
+			if err := procs[i].Process.Kill(); err != nil {
+				return err
+			}
+			procs[i].Wait() // reap; a killed process "fails" by design
+			return nil
+		},
+		stopFn: stopAll,
+	}, nil
 }
 
 // statsCapture is one /v1/stats snapshot: the raw bytes for the report plus

@@ -213,3 +213,71 @@ func TestRunFaultsFlagErrors(t *testing.T) {
 		t.Error("malformed fault spec accepted")
 	}
 }
+
+// TestRunFleetInProcess: a -fleet run with a peer killed mid-stream finishes
+// with zero errors and zero determinism mismatches — the replicas absorbed
+// the dead peer's keys byte-identically — and the report carries the fleet
+// section with the router's counters.
+func TestRunFleetInProcess(t *testing.T) {
+	leakcheck.Check(t)
+	var out strings.Builder
+	err := run([]string{"-fleet", "3", "-killpeer", "1", "-requests", "15",
+		"-concurrency", "3", "-unique", "0.4", "-seed", "5", "-ntasks", "2",
+		"-batchwindow", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Errors != 0 || rep.Mismatches != 0 {
+		t.Errorf("fleet run with a killed peer: %d errors, %d mismatches, want 0/0", rep.Errors, rep.Mismatches)
+	}
+	if rep.Fleet == nil {
+		t.Fatal("report has no fleet section")
+	}
+	if rep.Fleet.Peers != 3 || rep.Fleet.Replicas != 2 || rep.Fleet.KilledPeer != 1 || rep.Fleet.Processes {
+		t.Errorf("fleet section wrong: %+v", rep.Fleet)
+	}
+	if len(rep.Fleet.RouterStats) == 0 {
+		t.Error("router stats not captured")
+	}
+	// The router's accounting must show the dead peer's keys failing over.
+	var rs struct {
+		Peers []struct {
+			Failovers int64 `json:"failovers"`
+			Errors    int64 `json:"errors"`
+		} `json:"peers"`
+	}
+	if err := json.Unmarshal(rep.Fleet.RouterStats, &rs); err != nil {
+		t.Fatal(err)
+	}
+	var failovers, errors int64
+	for _, p := range rs.Peers {
+		failovers += p.Failovers
+		errors += p.Errors
+	}
+	if failovers == 0 && errors == 0 {
+		t.Error("a peer died mid-run but the router recorded no failovers or errors")
+	}
+}
+
+// TestRunFleetFlagErrors: fleet flags compose only with each other.
+func TestRunFleetFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fleet", "1"},
+		{"-fleet", "3", "-restart"},
+		{"-fleet", "3", "-addr", "http://localhost:1"},
+		{"-fleet", "3", "-store-dir", "/tmp/x"},
+		{"-fleet", "2", "-killpeer", "2"},
+		{"-fleet", "2", "-schedd", "/bin/true", "-killpeer", "0"},
+		{"-killpeer", "1"},
+		{"-schedd", "/bin/true"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}

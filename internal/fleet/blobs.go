@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/server"
+)
+
+// ReplicatedBlobs is a server.BlobStore that replicates writes to the key's
+// ring peers: a session checkpoint or schedule record put on one peer lands
+// on all R owners of its key, so a replica can restore the session (or the
+// record) after the owner dies. Wiring: each peer's server gets a
+// ReplicatedBlobs as Options.Checkpoints, while Options.InternalBlobs stays
+// the underlying local store — pushed blobs are stored locally by the
+// receiving peer, never re-pushed (no replication loops).
+//
+// Consistency model: pushes are synchronous but best-effort — a put returns
+// once the local write succeeded, whatever the peers said (a dead replica
+// costs redundancy, not availability; its breaker-gated pushes stop until it
+// revives). Reads are freshest-wins: a session blob is fetched from every
+// reachable owner and the one with the highest observation count is
+// returned, which is what lets a revived stale owner heal itself (the
+// server's refresh-on-gap path) and a replica take over at the last acked
+// observation. Schedule-record blobs are immutable (content-addressed), so
+// any copy is the right copy.
+type ReplicatedBlobs struct {
+	local    server.BlobStore
+	self     string
+	ring     *Ring
+	topo     *Topology
+	replicas int
+	logf     func(format string, args ...any)
+
+	pushes, pushErrs, remoteGets atomic.Int64
+}
+
+// ReplicatedBlobsOptions wires a ReplicatedBlobs.
+type ReplicatedBlobsOptions struct {
+	// Local is this peer's own blob store (disk-backed or store.MemBlobs).
+	Local server.BlobStore
+	// Self is this peer's ring name: pushes skip it (the local write already
+	// happened) and remote reads skip it (the local read already missed).
+	Self string
+	// Ring and Topology are the shared fleet view.
+	Ring *Ring
+	Topo *Topology
+	// Replicas is the ownership factor R (default 2): every blob lives on
+	// the first R ring owners of its key.
+	Replicas int
+	// Logf, when non-nil, receives push-failure log lines.
+	Logf func(format string, args ...any)
+}
+
+// NewReplicatedBlobs builds the replication layer for one peer.
+func NewReplicatedBlobs(opts ReplicatedBlobsOptions) *ReplicatedBlobs {
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	return &ReplicatedBlobs{
+		local: opts.Local, self: opts.Self, ring: opts.Ring, topo: opts.Topo,
+		replicas: opts.Replicas, logf: opts.Logf,
+	}
+}
+
+// keyOfBlob maps a blob name to its ring key: session blobs route by session
+// id and request records by fingerprint — the same keys the router routes
+// the corresponding requests by, so a blob's owners are exactly the peers
+// that serve its traffic.
+func keyOfBlob(name string) string {
+	if id, ok := strings.CutPrefix(name, "session-"); ok {
+		return id
+	}
+	if fp, ok := strings.CutPrefix(name, "request-"); ok {
+		return fp
+	}
+	return name
+}
+
+// PutBlob writes locally, then pushes to the key's other ring owners.
+// Returns the local write's error only: replication is redundancy, not a
+// durability gate.
+func (b *ReplicatedBlobs) PutBlob(name string, data []byte) error {
+	if err := b.local.PutBlob(name, data); err != nil {
+		return err
+	}
+	for _, peer := range b.ring.Owners(keyOfBlob(name), b.replicas) {
+		if peer == b.self {
+			continue
+		}
+		br := b.topo.Breaker(peer)
+		if br == nil || !br.Allow() {
+			continue
+		}
+		b.pushes.Add(1)
+		res, err := b.topo.do(context.Background(), peer, http.MethodPut, "/v1/internal/blobs/"+name, data)
+		if err == nil && res.status != http.StatusOK {
+			err = &pushError{peer: peer, status: res.status}
+		}
+		if err != nil {
+			b.pushErrs.Add(1)
+			if b.logf != nil {
+				b.logf("fleet: pushing blob %s to %s failed: %v", name, peer, err)
+			}
+		}
+	}
+	return nil
+}
+
+type pushError struct {
+	peer   string
+	status int
+}
+
+func (e *pushError) Error() string {
+	return "fleet: peer " + e.peer + " refused blob push with status " + http.StatusText(e.status)
+}
+
+// GetBlob reads locally first. On a miss — or, for session blobs, always —
+// it consults the key's other ring owners: session checkpoints take the
+// freshest copy (highest observation count), immutable request records take
+// the first copy found. A remote copy that wins is written back locally, so
+// the next read is local.
+func (b *ReplicatedBlobs) GetBlob(name string) ([]byte, bool, error) {
+	data, ok, err := b.local.GetBlob(name)
+	if err != nil {
+		return nil, false, err
+	}
+	session := strings.HasPrefix(name, "session-")
+	if ok && !session {
+		return data, true, nil
+	}
+	best, bestObserved, wonRemotely := data, int64(-1), false
+	if ok {
+		if n, pok := server.SessionCheckpointObserved(data); pok {
+			bestObserved = n
+		}
+	}
+	for _, peer := range b.ring.Owners(keyOfBlob(name), b.replicas) {
+		if peer == b.self {
+			continue
+		}
+		br := b.topo.Breaker(peer)
+		if br == nil || !br.Allow() {
+			continue
+		}
+		b.remoteGets.Add(1)
+		res, rerr := b.topo.do(context.Background(), peer, http.MethodGet, "/v1/internal/blobs/"+name, nil)
+		if rerr != nil || res.status != http.StatusOK {
+			continue
+		}
+		if !session {
+			best, wonRemotely = res.body, true
+			break // immutable: first copy wins
+		}
+		if n, pok := server.SessionCheckpointObserved(res.body); pok && n > bestObserved {
+			best, bestObserved, wonRemotely = res.body, n, true
+		}
+	}
+	if best == nil {
+		return nil, false, nil
+	}
+	if wonRemotely {
+		// Settle the winning copy locally so the next read is local. A racing
+		// fresher push could be overwritten here, but session reads are
+		// always freshest-wins across replicas, so a stale settle cannot
+		// poison anything — it just costs the next read a remote round.
+		if err := b.local.PutBlob(name, best); err != nil && b.logf != nil {
+			b.logf("fleet: settling blob %s locally failed: %v", name, err)
+		}
+	}
+	return best, true, nil
+}
+
+// ListBlobs lists the local store only: boot-time RestoreSessions restores
+// what this peer owns; everything else arrives lazily via routed traffic.
+func (b *ReplicatedBlobs) ListBlobs() ([]string, error) {
+	return b.local.ListBlobs()
+}
+
+// PushErrors reports how many replication pushes have failed (operational
+// accounting; responses never depend on it).
+func (b *ReplicatedBlobs) PushErrors() int64 { return b.pushErrs.Load() }

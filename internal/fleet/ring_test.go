@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnershipPinned pins the ownership table for a seeded ring: every
+// router and every peer must agree on who owns a key without coordination,
+// so any change to the hash, the vnode projection, or the walk order is a
+// breaking change and must show up here.
+func TestRingOwnershipPinned(t *testing.T) {
+	ring := NewRing([]string{"p0", "p1", "p2"}, 64)
+	cases := []struct {
+		key    string
+		owners []string
+	}{
+		{"s1", []string{"p1", "p2"}},
+		{"f1", []string{"p2", "p1"}},
+		{"alpha", []string{"p0", "p2"}},
+		{"0a1b2c3d", []string{"p0", "p2"}},
+		{"session-42", []string{"p1", "p0"}},
+		{"deadbeef00112233", []string{"p1", "p0"}},
+	}
+	for _, c := range cases {
+		got := ring.Owners(c.key, 2)
+		if len(got) != 2 || got[0] != c.owners[0] || got[1] != c.owners[1] {
+			t.Errorf("Owners(%q, 2) = %v, want %v", c.key, got, c.owners)
+		}
+	}
+}
+
+// TestRingOrderInsensitive: the ring is a pure function of the peer *set* —
+// participants listing peers in different orders still agree.
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"p0", "p1", "p2"}, 64)
+	b := NewRing([]string{"p2", "p0", "p1"}, 64)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ao, bo := a.Owners(k, 3), b.Owners(k, 3)
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("key %q: order-sensitive ownership %v vs %v", k, ao, bo)
+			}
+		}
+	}
+}
+
+// TestRingOwnersDistinct: the replica set never repeats a peer, and n is
+// capped at the fleet size.
+func TestRingOwnersDistinct(t *testing.T) {
+	ring := NewRing([]string{"p0", "p1", "p2"}, 16)
+	for i := 0; i < 200; i++ {
+		owners := ring.Owners(fmt.Sprintf("k%d", i), 5)
+		if len(owners) != 3 {
+			t.Fatalf("key k%d: %d owners from a 3-peer ring", i, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key k%d: duplicate owner %s in %v", i, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingRebalance is the consistent-hashing dividend: growing 3 → 4 peers
+// moves only ~1/4 of the keyspace (pinned exactly for the seeded key set —
+// the ring is deterministic, so the count is too), and ownership stays
+// roughly balanced before and after.
+func TestRingRebalance(t *testing.T) {
+	ring3 := NewRing([]string{"p0", "p1", "p2"}, 64)
+	ring4 := NewRing([]string{"p0", "p1", "p2", "p3"}, 64)
+	const keys = 1000
+	moved := 0
+	counts3 := map[string]int{}
+	counts4 := map[string]int{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o3, o4 := ring3.Owners(k, 1)[0], ring4.Owners(k, 1)[0]
+		counts3[o3]++
+		counts4[o4]++
+		if o3 != o4 {
+			moved++
+		}
+	}
+	// Deterministic ring + deterministic keys → exact pin. ~1/4 of 1000.
+	if moved != 237 {
+		t.Errorf("adding p3 moved %d/%d keys, pinned at 237 (~1/4)", moved, keys)
+	}
+	// Every moved key moved TO the new peer: growth must never shuffle keys
+	// between surviving peers (that is what keeps failover's blast radius at
+	// 1/N and response bytes unchanged — surviving owners keep their keys).
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o3, o4 := ring3.Owners(k, 1)[0], ring4.Owners(k, 1)[0]
+		if o3 != o4 && o4 != "p3" {
+			t.Fatalf("key %q moved %s → %s, not to the new peer", k, o3, o4)
+		}
+	}
+	for peer, n := range counts3 {
+		if n < keys/3-150 || n > keys/3+150 {
+			t.Errorf("3-ring share for %s: %d/%d, badly unbalanced", peer, n, keys)
+		}
+	}
+	for peer, n := range counts4 {
+		if n < keys/4-120 || n > keys/4+120 {
+			t.Errorf("4-ring share for %s: %d/%d, badly unbalanced", peer, n, keys)
+		}
+	}
+	// Shrinking is the mirror image: removing a peer hands only its keys to
+	// survivors.
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o4, o3 := ring4.Owners(k, 1)[0], ring3.Owners(k, 1)[0]
+		if o4 != "p3" && o3 != o4 {
+			t.Fatalf("removing p3 reshuffled key %q from %s to %s", k, o4, o3)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// The fleet hooks (DESIGN.md §11): caller-named sessions, position-asserting
+// idempotent observes, lazy session takeover from a shared checkpoint store,
+// stale-resident refresh, and the internal blob-replication endpoints. These
+// tests drive them against plain servers sharing a store.MemBlobs — exactly
+// what fleet replication looks like from one peer's point of view.
+
+// observeAtBody renders rows plus the stream-position assertion.
+func observeAtBody(t *testing.T, rows [][]float64, at int64) string {
+	t.Helper()
+	b, err := json.Marshal(ObserveRequest{Hyperperiods: rows, At: &at})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// sessionRows builds a session body, its custom-id create form, and a
+// deterministic observation stream for it.
+func sessionRows(t *testing.T, seed uint64, id string, n int) (string, [][]float64) {
+	t.Helper()
+	body, set := sessionBody(t, seed)
+	if id != "" {
+		body = `{"session_id":"` + id + `",` + body[1:]
+	}
+	sc, err := workload.NewScenario(set, workload.ScenarioConfig{Kind: workload.ModeSwitch, Seed: 9, SwitchEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := set.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskOf := make([]int, len(ins))
+	for i := range ins {
+		taskOf[i] = ins[i].TaskIndex
+	}
+	rows, err := sc.Actuals(n, taskOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, rows
+}
+
+func TestSessionCustomID(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, _ := sessionRows(t, 3, "fleet-a1", 0)
+
+	code, resp := post(t, ts.URL+"/v1/sessions", body)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	var created SessionResponse
+	if err := json.Unmarshal([]byte(resp), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.SessionID != "fleet-a1" {
+		t.Fatalf("created id %q, want the requested fleet-a1", created.SessionID)
+	}
+
+	// Same id again: the session is resident, so a second create conflicts.
+	code, resp = post(t, ts.URL+"/v1/sessions", body)
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d %s, want 409", code, resp)
+	}
+
+	// Malformed ids are rejected before any solving.
+	bad, _ := sessionBody(t, 3)
+	bad = `{"session_id":"no/slashes",` + bad[1:]
+	code, resp = post(t, ts.URL+"/v1/sessions", bad)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad id: %d %s, want 422", code, resp)
+	}
+}
+
+// TestObserveIdempotency: `at` makes the observe stream safe to retry — an
+// exact replay of the last acked batch returns the stored bytes, and any
+// other position mismatch is a deterministic 409.
+func TestObserveIdempotency(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, rows := sessionRows(t, 3, "idem", 30)
+	if code, resp := post(t, ts.URL+"/v1/sessions", body); code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	base := ts.URL + "/v1/sessions/idem/observe"
+
+	code, first := post(t, base, observeAtBody(t, rows[0:10], 0))
+	if code != http.StatusOK {
+		t.Fatalf("batch 1: %d %s", code, first)
+	}
+	// Retry of the acked batch: byte-identical replay, no double-fold.
+	code, replay := post(t, base, observeAtBody(t, rows[0:10], 0))
+	if code != http.StatusOK || replay != first {
+		t.Fatalf("replay answered %d %q, want the original bytes", code, replay)
+	}
+	// The fold did not advance: the next batch applies at position 10.
+	code, second := post(t, base, observeAtBody(t, rows[10:20], 10))
+	if code != http.StatusOK {
+		t.Fatalf("batch 2: %d %s", code, second)
+	}
+	var ob ObserveResponse
+	if err := json.Unmarshal([]byte(second), &ob); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Observed != 20 {
+		t.Fatalf("observed %d after two batches, want 20", ob.Observed)
+	}
+	// A position that is neither current nor the acked window: 409.
+	if code, resp := post(t, base, observeAtBody(t, rows[10:20], 5)); code != http.StatusConflict {
+		t.Fatalf("stale position answered %d %s, want 409", code, resp)
+	}
+	// Replaying batch 1 after batch 2 is also a conflict — only the *last*
+	// acked batch has a stored response.
+	if code, resp := post(t, base, observeAtBody(t, rows[0:10], 0)); code != http.StatusConflict {
+		t.Fatalf("deep replay answered %d %s, want 409", code, resp)
+	}
+}
+
+// TestSessionTakeoverAndRefresh is fleet failover in miniature: two servers
+// share one blob store (the replicated checkpoint view). The session hops
+// A → B (lazy takeover restore) and back A (stale-resident refresh), and
+// every response is byte-identical to an uninterrupted single-server run.
+func TestSessionTakeoverAndRefresh(t *testing.T) {
+	shared := store.NewMemBlobs()
+	srvA, tsA := newTestServer(t, Options{Checkpoints: shared})
+	srvB, tsB := newTestServer(t, Options{Checkpoints: shared})
+	_, tsRef := newTestServer(t, Options{})
+
+	body, rows := sessionRows(t, 4, "hop", 30)
+	batches := [][2]int{{0, 10}, {10, 20}, {20, 30}}
+
+	// Reference: one server, no hops.
+	var want []string
+	if code, resp := post(t, tsRef.URL+"/v1/sessions", body); code != http.StatusOK {
+		t.Fatalf("ref create: %d %s", code, resp)
+	}
+	for i, b := range batches {
+		code, resp := post(t, tsRef.URL+"/v1/sessions/hop/observe", observeAtBody(t, rows[b[0]:b[1]], int64(b[0])))
+		if code != http.StatusOK {
+			t.Fatalf("ref batch %d: %d %s", i, code, resp)
+		}
+		want = append(want, resp)
+	}
+
+	// Fleet-shaped run: create + batch 1 on A, batch 2 on B (which has never
+	// seen the session — lazy takeover from the shared checkpoints), batch 3
+	// back on A (whose resident fold is now stale — refresh-on-gap).
+	if code, resp := post(t, tsA.URL+"/v1/sessions", body); code != http.StatusOK {
+		t.Fatalf("create on A: %d %s", code, resp)
+	}
+	urls := []string{tsA.URL, tsB.URL, tsA.URL}
+	for i, b := range batches {
+		code, resp := post(t, urls[i]+"/v1/sessions/hop/observe", observeAtBody(t, rows[b[0]:b[1]], int64(b[0])))
+		if code != http.StatusOK {
+			t.Fatalf("hop batch %d: %d %s", i, code, resp)
+		}
+		if resp != want[i] {
+			t.Fatalf("hop batch %d diverged from the single-server reference:\n got %s\nwant %s", i, resp, want[i])
+		}
+	}
+	// Replay of the final batch on B: it must refresh past its own stale
+	// fold and replay the acked bytes.
+	code, resp := post(t, tsB.URL+"/v1/sessions/hop/observe", observeAtBody(t, rows[20:30], 20))
+	if code != http.StatusOK || resp != want[2] {
+		t.Fatalf("replay on B: %d %q, want the reference bytes", code, resp)
+	}
+	if n := srvB.nRestored.Load(); n == 0 {
+		t.Error("B answered without a takeover restore")
+	}
+	if n := srvA.nRestored.Load(); n == 0 {
+		t.Error("A answered batch 3 without refreshing its stale fold")
+	}
+	// Status reads also restore lazily: a third server can answer them.
+	srvC, tsC := newTestServer(t, Options{Checkpoints: shared})
+	code, resp = get(t, tsC.URL+"/v1/sessions/hop")
+	if code != http.StatusOK {
+		t.Fatalf("status on C: %d %s", code, resp)
+	}
+	var st SessionStatusResponse
+	if err := json.Unmarshal([]byte(resp), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Observed != 30 {
+		t.Fatalf("C sees %d observations, want 30", st.Observed)
+	}
+	_ = srvA
+	_ = srvC
+}
+
+func TestInternalBlobEndpoints(t *testing.T) {
+	// A standalone daemon has no peers: the paths answer 404.
+	_, tsPlain := newTestServer(t, Options{})
+	if code, resp := putBlob(t, tsPlain.URL, "x", []byte("y")); code != http.StatusNotFound {
+		t.Fatalf("non-fleet PUT: %d %s, want 404", code, resp)
+	}
+
+	blobs := store.NewMemBlobs()
+	_, ts := newTestServer(t, Options{InternalBlobs: blobs})
+	payload := []byte(`{"anything":"goes"}`)
+	if code, resp := putBlob(t, ts.URL, "session-s9", payload); code != http.StatusOK {
+		t.Fatalf("PUT: %d %s", code, resp)
+	}
+	got, ok, err := blobs.GetBlob("session-s9")
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("pushed blob not stored: %v %v %q", err, ok, got)
+	}
+	code, body := get(t, ts.URL+"/v1/internal/blobs/session-s9")
+	if code != http.StatusOK || body != string(payload) {
+		t.Fatalf("GET: %d %q", code, body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/internal/blobs/absent"); code != http.StatusNotFound {
+		t.Fatalf("GET absent blob: %d, want 404", code)
+	}
+}
+
+func putBlob(t *testing.T, base, name string, data []byte) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/internal/blobs/"+name, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestSessionCheckpointObserved(t *testing.T) {
+	shared := store.NewMemBlobs()
+	_, ts := newTestServer(t, Options{Checkpoints: shared})
+	body, rows := sessionRows(t, 5, "fresh", 10)
+	if code, resp := post(t, ts.URL+"/v1/sessions", body); code != http.StatusOK {
+		t.Fatalf("create: %d %s", code, resp)
+	}
+	blob, ok, _ := shared.GetBlob("session-fresh")
+	if !ok {
+		t.Fatal("no checkpoint after create")
+	}
+	if n, ok := SessionCheckpointObserved(blob); !ok || n != 0 {
+		t.Fatalf("fresh checkpoint observed=%d ok=%v, want 0/true", n, ok)
+	}
+	if code, resp := post(t, ts.URL+"/v1/sessions/fresh/observe", observeBody(t, rows)); code != http.StatusOK {
+		t.Fatalf("observe: %d %s", code, resp)
+	}
+	blob, _, _ = shared.GetBlob("session-fresh")
+	if n, ok := SessionCheckpointObserved(blob); !ok || n != 10 {
+		t.Fatalf("advanced checkpoint observed=%d ok=%v, want 10/true", n, ok)
+	}
+	if _, ok := SessionCheckpointObserved([]byte("not json")); ok {
+		t.Error("garbage parsed as a checkpoint")
+	}
+	if _, ok := SessionCheckpointObserved([]byte(`{"id":"x"}`)); ok {
+		t.Error("controller-less blob parsed as a checkpoint")
+	}
+}
+
+// TestSubmitFingerprint: the router-side fingerprint matches what the server
+// answers, under the same defaults — the property consistent-hash routing
+// by content address rests on.
+func TestSubmitFingerprint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := smallBody(7)
+	var req SubmitRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	fp, ok := SubmitFingerprint(&req, 0, 0)
+	if !ok || fp == "" {
+		t.Fatal("feasible body did not fingerprint")
+	}
+	code, resp := post(t, ts.URL+"/v1/schedules", body)
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, resp)
+	}
+	var sr ScheduleResponse
+	if err := json.Unmarshal([]byte(resp), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Fingerprint != fp {
+		t.Fatalf("router fingerprint %s, server answered %s", fp, sr.Fingerprint)
+	}
+	if _, ok := SubmitFingerprint(&SubmitRequest{}, 0, 0); ok {
+		t.Error("empty body fingerprinted")
+	}
+	if _, ok := SubmitFingerprint(&SubmitRequest{Tasks: make([]task.Task, 100)}, 0, 64); ok {
+		t.Error("over-limit body fingerprinted")
+	}
+	// Objective changes the address, like it does on the server.
+	var wcsReq SubmitRequest
+	if err := json.Unmarshal([]byte(body), &wcsReq); err != nil {
+		t.Fatal(err)
+	}
+	wcsReq.Objective = "wcs"
+	if fp2, ok := SubmitFingerprint(&wcsReq, 0, 0); !ok || fp2 == fp {
+		t.Error("wcs objective shares the acs fingerprint")
+	}
+	_ = strings.TrimSpace("")
+}

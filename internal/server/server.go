@@ -47,6 +47,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -133,6 +134,14 @@ type Options struct {
 	// contract. The WCS baseline itself is never budgeted: it is the
 	// fallback's existence proof and is cheap relative to ACS refinement.
 	SolveBudget time.Duration
+	// InternalBlobs, when non-nil, exposes the peer-replication endpoints
+	// PUT/GET /v1/internal/blobs/{name} over this store — the door fleet
+	// peers push replicated checkpoints and schedule records through
+	// (DESIGN.md §11). It is typically the same underlying store Checkpoints
+	// wraps, minus the replication layer (a peer receiving a pushed blob
+	// stores it locally; re-pushing it would loop). Nil (the default) answers
+	// those paths 404: a standalone daemon has no peers.
+	InternalBlobs BlobStore
 	// Faults, when non-nil, arms the server's own failpoints
 	// ("handler.panic", "pipeline.panic") for the chaos harness. Production
 	// deployments leave it nil.
@@ -207,6 +216,10 @@ type Server struct {
 	sessions   map[string]*serverSession    // id → resident feedback session
 	sessionSeq int64
 
+	// restoreMu serialises lazy session takeover (sessionOrRestore): one
+	// restore solve per missing session, not one per racing request.
+	restoreMu sync.Mutex
+
 	nSubmits, nGets, nCompares, nSessions, nObserves atomic.Int64
 	nRestored, nCheckpointErrs                       atomic.Int64
 	nShed, nDegraded, nPanics                        atomic.Int64
@@ -251,6 +264,8 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("PUT /v1/internal/blobs/{name}", s.handleBlobPut)
+	mux.HandleFunc("GET /v1/internal/blobs/{name}", s.handleBlobGet)
 	s.mux = mux
 	return s
 }
@@ -500,12 +515,23 @@ type StatsResponse struct {
 // admission rejections happen here or in the feasibility check — both before
 // any solver time is spent.
 func (s *Server) canonicalize(req *SubmitRequest) (*canonicalRequest, *apiError) {
+	return canonicalizeSubmit(req, s.opts.Starts, s.opts.MaxTasks)
+}
+
+// canonicalizeSubmit is canonicalization as a pure function of the body and
+// the server defaults it is resolved against — factored out so the fleet
+// router computes the same fingerprint the peers do without holding a
+// *Server. maxTasks <= 0 selects the Options default.
+func canonicalizeSubmit(req *SubmitRequest, defaultStarts, maxTasks int) (*canonicalRequest, *apiError) {
+	if maxTasks <= 0 {
+		maxTasks = 64
+	}
 	if len(req.Tasks) == 0 {
 		return nil, errorf(http.StatusUnprocessableEntity, "admission: task set is empty")
 	}
-	if len(req.Tasks) > s.opts.MaxTasks {
+	if len(req.Tasks) > maxTasks {
 		return nil, errorf(http.StatusUnprocessableEntity,
-			"admission: %d tasks exceeds the limit of %d", len(req.Tasks), s.opts.MaxTasks)
+			"admission: %d tasks exceeds the limit of %d", len(req.Tasks), maxTasks)
 	}
 	set, err := task.NewSet(req.Tasks)
 	if err != nil {
@@ -513,7 +539,7 @@ func (s *Server) canonicalize(req *SubmitRequest) (*canonicalRequest, *apiError)
 	}
 	cr := &canonicalRequest{set: set, starts: req.Starts, subCap: req.SubCap}
 	if cr.starts <= 0 {
-		cr.starts = s.opts.Starts
+		cr.starts = defaultStarts
 	}
 	switch req.Objective {
 	case "", "acs":
@@ -525,6 +551,24 @@ func (s *Server) canonicalize(req *SubmitRequest) (*canonicalRequest, *apiError)
 			"admission: unknown objective %q (want acs or wcs)", req.Objective)
 	}
 	return cr, nil
+}
+
+// SubmitFingerprint computes the canonical fingerprint of a submit/compare
+// body under the given server defaults — the routing key the fleet router
+// shares with the peers' own canonicalization, so a request lands on the
+// peer that owns its content address. ok is false when the body does not
+// canonicalize; such requests draw the same deterministic 4xx from every
+// peer, so routers may key them however they like (e.g. a raw-body hash).
+func SubmitFingerprint(req *SubmitRequest, defaultStarts, maxTasks int) (fp string, ok bool) {
+	cr, e := canonicalizeSubmit(req, defaultStarts, maxTasks)
+	if e != nil {
+		return "", false
+	}
+	fp, e2 := cr.fingerprint()
+	if e2 != nil {
+		return "", false
+	}
+	return fp, true
 }
 
 // config returns the solver configuration for objective o.
@@ -946,6 +990,58 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Panics:           s.nPanics.Load(),
 		Memo:             s.memo.Stats(),
 	})
+}
+
+// handleBlobPut is the peer-replication write door: a fleet peer pushing a
+// replicated blob (session checkpoint or schedule record) stores it in this
+// instance's local blob store. Deliberately outside the admission semaphore —
+// replication must not be shed by client load — and outside the determinism
+// contract (it is peer plumbing, not a client API). 404 when the instance is
+// not fleet-configured.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	if s.opts.InternalBlobs == nil {
+		writeResult(w, errorf(http.StatusNotFound, "not a fleet peer"))
+		return
+	}
+	name := r.PathValue("name")
+	if name == "" || len(name) > 256 {
+		writeResult(w, errorf(http.StatusUnprocessableEntity, "bad blob name"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		writeResult(w, errorf(http.StatusBadRequest, "reading blob: %v", err))
+		return
+	}
+	if err := s.opts.InternalBlobs.PutBlob(name, data); err != nil {
+		s.noteCheckpointErr(err)
+		writeResult(w, errorf(http.StatusInternalServerError, "storing blob: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		OK bool `json:"ok"`
+	}{true})
+}
+
+// handleBlobGet serves a locally-stored blob to a fleet peer (raw bytes, not
+// JSON — the blob is the payload).
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	if s.opts.InternalBlobs == nil {
+		writeResult(w, errorf(http.StatusNotFound, "not a fleet peer"))
+		return
+	}
+	data, ok, err := s.opts.InternalBlobs.GetBlob(r.PathValue("name"))
+	if err != nil {
+		writeResult(w, errorf(http.StatusInternalServerError, "reading blob: %v", err))
+		return
+	}
+	if !ok {
+		writeResult(w, errorf(http.StatusNotFound, "no such blob"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -45,6 +45,15 @@ type serverSession struct {
 	bins                     int
 	driftDelta, driftLambda  float64
 	minSamples, relearnEvery int
+
+	// lastAt/lastResp are the observe-idempotency window (DESIGN.md §11):
+	// the stream position the last acked observe batch started at and the
+	// exact response bytes it was answered with. A retry of that batch (same
+	// `at`, same length) replays lastResp instead of re-folding — the door a
+	// fleet client walks through when the ack was lost to a dying owner and
+	// the retry lands on a replica that restored this checkpoint.
+	lastAt   int64
+	lastResp []byte
 }
 
 // sessionOptions rebuilds the feedback options for this session's knobs —
@@ -77,6 +86,25 @@ type sessionCheckpoint struct {
 	MinSamples  int                       `json:"min_samples"`
 	Relearn     int                       `json:"relearn"`
 	Controller  *feedback.ControllerState `json:"controller"`
+	// LastAt/LastResp persist the observe-idempotency window, so a replica
+	// restoring this checkpoint can replay the last acked batch's exact
+	// bytes to a retrying client.
+	LastAt   int64  `json:"last_at,omitempty"`
+	LastResp []byte `json:"last_resp,omitempty"`
+}
+
+// SessionCheckpointObserved extracts the observation count from a session
+// checkpoint blob without rebuilding the controller — the freshness key
+// fleet replication compares when several peers hold checkpoints for the
+// same session (highest observation count wins; identical counts imply
+// identical state, because the controller is a deterministic fold). ok is
+// false when the blob is not a parseable session checkpoint.
+func SessionCheckpointObserved(blob []byte) (observed int64, ok bool) {
+	var cp sessionCheckpoint
+	if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil {
+		return 0, false
+	}
+	return cp.Controller.Observed, true
 }
 
 // checkpointSession atomically replaces the session's checkpoint blob.
@@ -92,6 +120,7 @@ func (s *Server) checkpointSession(sess *serverSession) {
 		DriftDelta: sess.driftDelta, DriftLambda: sess.driftLambda,
 		MinSamples: sess.minSamples, Relearn: sess.relearnEvery,
 		Controller: sess.ctrl.Snapshot(),
+		LastAt:     sess.lastAt, LastResp: sess.lastResp,
 	})
 	if err == nil {
 		err = s.opts.Checkpoints.PutBlob("session-"+sess.id, blob)
@@ -138,6 +167,7 @@ func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
 			id: cp.ID, starts: cp.Starts, subCap: cp.SubCap, bins: cp.Bins,
 			driftDelta: cp.DriftDelta, driftLambda: cp.DriftLambda,
 			minSamples: cp.MinSamples, relearnEvery: cp.Relearn,
+			lastAt: cp.LastAt, lastResp: cp.LastResp,
 		}
 		ctrl, err := feedback.RestoreController(ctx, cp.Controller, s.sessionOptions(sess))
 		if err != nil {
@@ -170,6 +200,14 @@ func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
 // feedback knobs (zero values select the controller defaults).
 type SessionRequest struct {
 	SubmitRequest
+	// SessionID, when set, names the session instead of the server's
+	// allocation-order default ("s1", "s2", …): 1–64 characters of
+	// [A-Za-z0-9._-]. The fleet router injects one so a session's identity —
+	// and therefore its ring position — is fixed before any peer sees the
+	// request; a create whose id is already resident answers 409. Creation
+	// is otherwise a pure function of the body, so a lost-ack retry that
+	// lands on a replica re-creates the same session byte-identically.
+	SessionID string `json:"session_id,omitempty"`
 	// Bins is the estimator histogram resolution per task.
 	Bins int `json:"bins,omitempty"`
 	// DriftDelta and DriftLambda parameterise the Page–Hinkley detector in
@@ -206,6 +244,16 @@ type SessionResponse struct {
 // hyper-periods of per-instance observed execution cycles.
 type ObserveRequest struct {
 	Hyperperiods [][]float64 `json:"hyperperiods"`
+	// At, when set, asserts the stream position this batch starts at (the
+	// number of hyper-periods the client has had acknowledged). It makes
+	// observes idempotent across failover: a position matching the session
+	// applies normally; an exact retry of the last acked batch replays its
+	// stored response bytes; a position *ahead* of this instance's fold
+	// means the instance is stale (a revived owner) and triggers a refresh
+	// from the freshest replicated checkpoint before re-evaluating; anything
+	// else is a deterministic 409. Clients retrying through the fleet MUST
+	// resend the identical batch with the identical `at`.
+	At *int64 `json:"at,omitempty"`
 }
 
 // ObserveResponse reports what the batch caused. Schedule is present only
@@ -293,6 +341,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			"admission: sessions adapt the average-case model; the objective is always acs"))
 		return
 	}
+	if req.SessionID != "" && !validSessionID(req.SessionID) {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"admission: session_id must be 1-64 characters of [A-Za-z0-9._-]"))
+		return
+	}
 	s.mu.Lock()
 	full := len(s.sessions) >= s.opts.SessionLimit
 	s.mu.Unlock()
@@ -336,8 +389,17 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeResult(w, s.sessionLimitError())
 		return
 	}
-	s.sessionSeq++
-	sess.id = fmt.Sprintf("s%d", s.sessionSeq)
+	if req.SessionID != "" {
+		if _, exists := s.sessions[req.SessionID]; exists {
+			s.mu.Unlock()
+			writeResult(w, errorf(http.StatusConflict, "session %q already exists", req.SessionID))
+			return
+		}
+		sess.id = req.SessionID
+	} else {
+		s.sessionSeq++
+		sess.id = fmt.Sprintf("s%d", s.sessionSeq)
+	}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 	resp.SessionID = sess.id
@@ -356,6 +418,119 @@ func (s *Server) session(id string) *serverSession {
 	return s.sessions[id]
 }
 
+// validSessionID reports whether id is acceptable as a caller-supplied
+// session name: 1–64 characters of [A-Za-z0-9._-]. Server-allocated "sN"
+// ids trivially satisfy it.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sessionOrRestore resolves a session id to its resident session, lazily
+// rebuilding it from the checkpoint store when absent — the fleet takeover
+// path (DESIGN.md §11): a replica that never hosted this session receives
+// its routed traffic after the owner died, restores the controller from the
+// freshest replicated checkpoint, and continues the observation stream
+// byte-identically. restoreMu makes racing requests pay for one restore
+// solve, not one each. (nil, nil) means no such session anywhere — the
+// caller answers 404.
+func (s *Server) sessionOrRestore(ctx context.Context, id string) (*serverSession, *apiError) {
+	if sess := s.session(id); sess != nil {
+		return sess, nil
+	}
+	if s.opts.Checkpoints == nil || !validSessionID(id) {
+		return nil, nil
+	}
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	if sess := s.session(id); sess != nil { // raced: another request restored it
+		return sess, nil
+	}
+	blob, ok, err := s.opts.Checkpoints.GetBlob("session-" + id)
+	if err != nil || !ok {
+		return nil, nil
+	}
+	var cp sessionCheckpoint
+	if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil || cp.ID != id {
+		s.nCheckpointErrs.Add(1)
+		return nil, nil
+	}
+	sess := &serverSession{
+		id: id, starts: cp.Starts, subCap: cp.SubCap, bins: cp.Bins,
+		driftDelta: cp.DriftDelta, driftLambda: cp.DriftLambda,
+		minSamples: cp.MinSamples, relearnEvery: cp.Relearn,
+		lastAt: cp.LastAt, lastResp: cp.LastResp,
+	}
+	ctrl, err := feedback.RestoreController(ctx, cp.Controller, s.sessionOptions(sess))
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, errorf(http.StatusServiceUnavailable, "session restore canceled")
+		}
+		s.nCheckpointErrs.Add(1)
+		return nil, nil
+	}
+	sess.ctrl = ctrl
+	s.mu.Lock()
+	if len(s.sessions) >= s.opts.SessionLimit {
+		s.mu.Unlock()
+		return nil, s.sessionLimitError()
+	}
+	s.sessions[id] = sess
+	var seq int64
+	fmt.Sscanf(id, "s%d", &seq)
+	if seq > s.sessionSeq {
+		s.sessionSeq = seq
+	}
+	s.mu.Unlock()
+	s.nRestored.Add(1)
+	return sess, nil
+}
+
+// refreshSessionLocked re-reads the session's checkpoint and, when it is
+// ahead of the resident fold, swaps in a controller restored from it.
+// Callers hold sess.mu. In a fleet, Checkpoints is the replication layer
+// whose reads return the freshest replica's checkpoint — this is how a
+// revived owner heals itself when a client's `at` proves its resident state
+// stale (its replicas advanced the session while it was down). Failures
+// leave the session untouched; the caller's position check then answers a
+// deterministic 409 and the client retries elsewhere.
+func (s *Server) refreshSessionLocked(ctx context.Context, sess *serverSession) {
+	if s.opts.Checkpoints == nil {
+		return
+	}
+	blob, ok, err := s.opts.Checkpoints.GetBlob("session-" + sess.id)
+	if err != nil || !ok {
+		return
+	}
+	var cp sessionCheckpoint
+	if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil || cp.ID != sess.id {
+		s.nCheckpointErrs.Add(1)
+		return
+	}
+	if cp.Controller.Observed <= sess.ctrl.Observed() {
+		return
+	}
+	ctrl, err := feedback.RestoreController(ctx, cp.Controller, s.sessionOptions(sess))
+	if err != nil {
+		return
+	}
+	sess.ctrl = ctrl
+	sess.lastAt = cp.LastAt
+	sess.lastResp = cp.LastResp
+	s.nRestored.Add(1)
+}
+
 func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 	s.nObserves.Add(1)
 	release, e := s.acquire(r.Context())
@@ -364,7 +539,13 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	sess := s.session(r.PathValue("id"))
+	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
+	defer cancel()
+	sess, e := s.sessionOrRestore(ctx, r.PathValue("id"))
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
 	if sess == nil {
 		writeResult(w, errorf(http.StatusNotFound, "unknown session %q", r.PathValue("id")))
 		return
@@ -384,19 +565,38 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 			len(req.Hyperperiods), s.opts.MaxObserveBatch))
 		return
 	}
-	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
-	defer cancel()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if req.At != nil {
+		at, n := *req.At, int64(len(req.Hyperperiods))
+		if at > sess.ctrl.Observed() {
+			// The resident fold is behind the client's acked stream: this
+			// instance is stale (a revived owner). Catch up from the
+			// freshest replicated checkpoint, then re-evaluate the position.
+			s.refreshSessionLocked(ctx, sess)
+		}
+		if at == sess.lastAt && sess.lastResp != nil && at+n == sess.ctrl.Observed() {
+			// Exact retry of the last acked batch (its ack was lost in
+			// flight): replay the stored response bytes instead of
+			// re-folding — byte-identical to the lost original.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(sess.lastResp)
+			return
+		}
+		if at != sess.ctrl.Observed() {
+			writeResult(w, errorf(http.StatusConflict,
+				"observe: batch asserts position %d but the session is at %d",
+				at, sess.ctrl.Observed()))
+			return
+		}
+	}
+	prev := sess.ctrl.Observed()
 	d, err := sess.ctrl.ObserveChunk(ctx, req.Hyperperiods)
 	if err != nil {
 		writeResult(w, solveError("observe", err))
 		return
 	}
-	// Checkpoint the advanced fold state before replying: once the client has
-	// seen this response, a crash-and-restore resumes at or after it — the
-	// stream never rewinds past an acknowledged observation.
-	s.checkpointSession(sess)
 	resp := &ObserveResponse{
 		SessionID: sess.id,
 		Observed:  sess.ctrl.Observed(),
@@ -410,11 +610,33 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		sched := sessionSchedule(sess.ctrl)
 		resp.Schedule = &sched
 	}
-	writeJSON(w, http.StatusOK, resp)
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		writeResult(w, errorf(http.StatusInternalServerError, "encoding failure"))
+		return
+	}
+	buf = append(buf, '\n')
+	// Record the idempotency window and checkpoint the advanced fold state
+	// before replying: once the client has seen this response, a
+	// crash-and-restore resumes at or after it — the stream never rewinds
+	// past an acknowledged observation, and a retry of exactly this batch
+	// replays exactly these bytes.
+	sess.lastAt = prev
+	sess.lastResp = buf
+	s.checkpointSession(sess)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf)
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(r.PathValue("id"))
+	ctx, cancel := joinContexts(s.base, []context.Context{r.Context()})
+	defer cancel()
+	sess, e := s.sessionOrRestore(ctx, r.PathValue("id"))
+	if e != nil {
+		writeResult(w, e)
+		return
+	}
 	if sess == nil {
 		writeResult(w, errorf(http.StatusNotFound, "unknown session %q", r.PathValue("id")))
 		return

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// MemBlobs is the in-memory named-blob store: the same contract as Disk's
+// blob methods (atomic replace, sorted listing) without a device. Fleet peers
+// run on it when no -store-dir is given — replication to ring peers, not the
+// local disk, is what makes their checkpoints survive a node loss — and
+// tests use it to stand up many peers cheaply.
+type MemBlobs struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+// NewMemBlobs returns an empty in-memory blob store.
+func NewMemBlobs() *MemBlobs {
+	return &MemBlobs{blobs: make(map[string][]byte)}
+}
+
+// PutBlob atomically replaces the named blob. The data is copied, so callers
+// may reuse their buffer.
+func (m *MemBlobs) PutBlob(name string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.mu.Lock()
+	m.blobs[name] = cp
+	m.mu.Unlock()
+	return nil
+}
+
+// GetBlob returns a copy of the named blob's content and whether it exists.
+func (m *MemBlobs) GetBlob(name string) ([]byte, bool, error) {
+	m.mu.Lock()
+	data, ok := m.blobs[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true, nil
+}
+
+// ListBlobs returns the blob names in sorted order, like Disk.ListBlobs.
+func (m *MemBlobs) ListBlobs() ([]string, error) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.blobs))
+	for name := range m.blobs {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	return names, nil
+}
