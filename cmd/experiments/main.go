@@ -41,7 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		only = fs.String("only", "all",
-			"experiment: all, motivation, fig6a, fig6b, slack, cap, overhead, levels, weighted, crosscheck")
+			"experiment: all, motivation, fig6a, fig6b, slack, cap, overhead, levels, weighted, crosscheck, partition")
 		sets       = fs.Int("sets", 20, "random task sets per configuration cell (paper: 100)")
 		reps       = fs.Int("reps", 200, "hyper-periods simulated per task set (paper: 1000)")
 		seed       = fs.Uint64("seed", 2005, "master seed")
@@ -187,6 +187,22 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, experiments.WeightedTable(cells))
+		wroteAny = true
+	}
+
+	if want("partition") {
+		banner("E11: multi-core partitioned scheduling (energy vs. M, FFD vs. worst-fit)")
+		start := time.Now()
+		cells, err := experiments.PartitionSweep(experiments.PartitionSweepConfig{Common: common})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.PartitionTable(cells, fmt.Sprintf(
+			"E11: global ACS improvement over per-core WCS-at-average (%d sets per cell, %v)",
+			*sets, time.Since(start).Round(time.Second))))
+		if err := writeCSV("partition.csv", experiments.PartitionCSV(cells)); err != nil {
+			return err
+		}
 		wroteAny = true
 	}
 

@@ -73,6 +73,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/grid"
+	"repro/internal/partition"
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -172,7 +173,8 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "master seed for task-set generation and the repeat mix")
 		nTasks    = fs.Int("ntasks", 4, "tasks per generated set")
 		ratio     = fs.Float64("ratio", 0.5, "BCEC/WCEC ratio of generated sets")
-		util      = fs.Float64("util", 0.7, "worst-case utilisation of generated sets")
+		util      = fs.Float64("util", 0.7, "worst-case utilisation of generated sets (per core with -cores)")
+		cores     = fs.Int("cores", 0, "submit partitioned requests onto this many cores (0/1 = single-core; sets are generated at util×cores total utilisation)")
 		workers   = fs.Int("workers", 0, "in-process server: grid worker-pool width")
 		cacheMB   = fs.Int64("cachemb", 256, "in-process server: cache cap in MiB (<0 = unbounded)")
 		batch     = fs.Int("batch", 16, "in-process server: micro-batch size")
@@ -317,7 +319,7 @@ func run(args []string, stdout io.Writer) error {
 	base = strings.TrimSuffix(base, "/")
 
 	bodies, uniqueCount, err := buildBodies(*requests, *unique, *seed, workload.RandomConfig{
-		N: *nTasks, Ratio: *ratio, Utilization: *util,
+		N: *nTasks, Ratio: *ratio, Utilization: *util, Cores: *cores,
 	})
 	if err != nil {
 		return err
@@ -834,6 +836,14 @@ func buildBodies(requests int, unique float64, seed uint64, cfg workload.RandomC
 	master := stats.NewRNG(seed)
 	bodies := make([]string, count)
 	feasible := func(s *task.Set) bool { return core.Feasible(s, core.Config{}) == nil }
+	if cfg.Cores > 1 {
+		// Partitioned streams must generate sets the server's FFD
+		// admission will accept, not merely single-core-feasible ones.
+		feasible = func(s *task.Set) bool {
+			_, err := partition.Admit(s, partition.Config{Cores: cfg.Cores})
+			return err == nil
+		}
+	}
 	for i := range bodies {
 		rng := master.Split()
 		set, err := workload.RandomFeasible(rng, cfg, 100, feasible)
@@ -842,7 +852,8 @@ func buildBodies(requests int, unique float64, seed uint64, cfg workload.RandomC
 		}
 		body, err := json.Marshal(struct {
 			Tasks []task.Task `json:"tasks"`
-		}{set.Tasks})
+			Cores int         `json:"cores,omitempty"`
+		}{set.Tasks, cfg.Cores})
 		if err != nil {
 			return nil, 0, err
 		}

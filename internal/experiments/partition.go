@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/grid"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+// PartitionSweepConfig parameterises E11: the multi-core partitioned
+// extension — global ACS-vs-WCS improvement as the core count grows, with
+// the FFD-vs-worst-fit packing ablation riding along.
+type PartitionSweepConfig struct {
+	Common
+	// Cores is the core-count axis (default {1, 2, 4}).
+	Cores []int
+	// N is the task count per set (default 8; total utilisation scales
+	// with the core count, the per-core target stays Common.Utilization).
+	N int
+	// Ratio is BCEC/WCEC (default 0.5, the paper's middle series).
+	Ratio float64
+	// Modes are the packing heuristics to ablate (default FFD, worst-fit).
+	Modes []partition.Mode
+	// Moves is the cross-core improvement-loop round budget (default 2;
+	// single-core cells skip the loop by construction).
+	Moves int
+}
+
+// PartitionCell is one aggregated (cores, mode) point.
+type PartitionCell struct {
+	Cores int
+	Mode  string
+	// Improvement is the distribution of global improvement percentages:
+	// 100·(ΣWCS-at-average − ΣACS)/ΣWCS-at-average over the final
+	// assignment's cores.
+	Improvement stats.Summary
+	// Energy is the distribution of global ACS predicted energy.
+	Energy stats.Summary
+	// Moves is the distribution of accepted improvement-loop moves.
+	Moves stats.Summary
+	// Failures counts task sets that could not be generated or solved.
+	Failures int
+}
+
+// partitionSetSeed derives the i-th set seed of a core-count cell. The seed
+// is shared across packing modes, so FFD and worst-fit score the identical
+// sets and — via the grid memo — share every per-core solve their packings
+// have in common.
+func partitionSetSeed(c Common, cores, n int, ratio float64, i int) uint64 {
+	master := c.Seed ^ stats.SeedFromString(fmt.Sprintf("partition|%d|%d|%g", cores, n, ratio))
+	return setSeed(master, i)
+}
+
+// partitionCellSet draws the i-th set of a core-count cell: admissible
+// under every swept packing mode, so each mode solves the same population.
+func partitionCellSet(c Common, cfg PartitionSweepConfig, cores, i int) (*task.Set, error) {
+	rng := stats.NewRNG(partitionSetSeed(c, cores, cfg.N, cfg.Ratio, i))
+	return workload.RandomFeasible(rng, workload.RandomConfig{
+		N:           cfg.N,
+		Ratio:       cfg.Ratio,
+		Utilization: c.Utilization,
+		Model:       c.Model,
+		Cores:       cores,
+	}, 50, func(s *task.Set) bool {
+		for _, mode := range cfg.Modes {
+			pcfg := partition.Config{Cores: cores, Mode: mode}
+			pcfg.Solver.Model = c.Model
+			if _, err := partition.Admit(s, pcfg); err != nil {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// PartitionSweep runs E11. Jobs are flattened to (cell, set) coordinates
+// and drained through the grid pool; each job's per-core solves fan out
+// through the same runner (nested ForEach), so the memo shares subsets
+// across modes, move evaluations, and repartitions. Results are
+// bit-identical for any worker count, cache on or off.
+func PartitionSweep(cfg PartitionSweepConfig) ([]PartitionCell, error) {
+	c := cfg.Common.withDefaults()
+	if len(cfg.Cores) == 0 {
+		cfg.Cores = []int{1, 2, 4}
+	}
+	if cfg.N <= 0 {
+		cfg.N = 8
+	}
+	if cfg.Ratio == 0 {
+		cfg.Ratio = 0.5
+	}
+	if len(cfg.Modes) == 0 {
+		cfg.Modes = []partition.Mode{partition.FirstFitDecreasing, partition.WorstFit}
+	}
+	if cfg.Moves == 0 {
+		cfg.Moves = 2
+	}
+
+	type coord struct {
+		cell int // index into cells
+		set  int
+	}
+	type cellDef struct {
+		cores int
+		mode  partition.Mode
+	}
+	var defs []cellDef
+	for _, m := range cfg.Cores {
+		for _, mode := range cfg.Modes {
+			defs = append(defs, cellDef{cores: m, mode: mode})
+		}
+	}
+	var coords []coord
+	for ci := range defs {
+		for si := 0; si < c.Sets; si++ {
+			coords = append(coords, coord{cell: ci, set: si})
+		}
+	}
+
+	type out struct {
+		imp, energy float64
+		moves       int
+		failed      bool
+	}
+	results := grid.Collect(c.Grid, len(coords), func(i int) out {
+		co := coords[i]
+		def := defs[co.cell]
+		set, err := partitionCellSet(c, cfg, def.cores, co.set)
+		if err != nil {
+			return out{failed: true}
+		}
+		pcfg := partition.Config{
+			Cores: def.cores,
+			Mode:  def.mode,
+			Moves: cfg.Moves,
+		}
+		pcfg.Solver.Model = c.Model
+		pcfg.Solver.Starts = c.Starts
+		pcfg.Solver.StartWorkers = 1
+		res, err := partition.Solve(context.Background(), c.Grid, set, pcfg)
+		if err != nil {
+			return out{failed: true}
+		}
+		wcsAvg := 0.0
+		for j := range res.Cores {
+			e, err := res.Cores[j].WCSAtAverage()
+			if err != nil {
+				return out{failed: true}
+			}
+			wcsAvg += e
+		}
+		imp := 0.0
+		if wcsAvg > 0 {
+			imp = 100 * (wcsAvg - res.Energy) / wcsAvg
+		}
+		return out{imp: imp, energy: res.Energy, moves: res.AcceptedMoves}
+	})
+
+	cells := make([]PartitionCell, len(defs))
+	for i, def := range defs {
+		cells[i] = PartitionCell{Cores: def.cores, Mode: def.mode.String()}
+	}
+	for i, r := range results {
+		cell := &cells[coords[i].cell]
+		if r.failed {
+			cell.Failures++
+			continue
+		}
+		cell.Improvement.Add(r.imp)
+		cell.Energy.Add(r.energy)
+		cell.Moves.Add(float64(r.moves))
+	}
+	return cells, nil
+}
+
+// PartitionTable renders the sweep as an aligned text table.
+func PartitionTable(cells []PartitionCell, caption string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", caption)
+	fmt.Fprintf(&b, "%6s  %-9s  %18s  %14s  %10s  %8s\n",
+		"cores", "mode", "improvement(%)", "energy", "moves", "failures")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%6d  %-9s  %11.2f ±%5.2f  %14.4g  %10.2f  %8d\n",
+			c.Cores, c.Mode, c.Improvement.Mean(), c.Improvement.CI95(),
+			c.Energy.Mean(), c.Moves.Mean(), c.Failures)
+	}
+	return b.String()
+}
+
+// PartitionCSV renders the sweep as CSV.
+func PartitionCSV(cells []PartitionCell) string {
+	var b strings.Builder
+	b.WriteString("cores,mode,improvement_mean,improvement_ci95,energy_mean,moves_mean,sets,failures\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%d,%s,%.4f,%.4f,%.6g,%.2f,%d,%d\n",
+			c.Cores, c.Mode, c.Improvement.Mean(), c.Improvement.CI95(),
+			c.Energy.Mean(), c.Moves.Mean(), c.Improvement.N(), c.Failures)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/partition"
+)
+
+// TestPartitionSweepDeterminism pins the E11 harness to the standing grid
+// contract: identical cells for any worker count, cache on or off. The
+// partition driver nests its per-core fan-out inside the sweep's own grid
+// jobs, so this also exercises nested ForEach under both cache states.
+func TestPartitionSweepDeterminism(t *testing.T) {
+	run := func(workers int, cached bool) []PartitionCell {
+		var memo *grid.Memo
+		if cached {
+			memo = grid.NewMemo()
+		}
+		cells, err := PartitionSweep(PartitionSweepConfig{
+			Common: Common{Sets: 2, Seed: 2005, Grid: grid.New(workers, memo)},
+			Cores:  []int{1, 2},
+			N:      5,
+			Modes:  []partition.Mode{partition.FirstFitDecreasing, partition.WorstFit},
+			Moves:  1,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d cached=%v: %v", workers, cached, err)
+		}
+		return cells
+	}
+	ref := run(1, false)
+	for _, workers := range []int{1, 4} {
+		for _, cached := range []bool{false, true} {
+			got := run(workers, cached)
+			if len(got) != len(ref) {
+				t.Fatalf("workers=%d cached=%v: %d cells, ref %d", workers, cached, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d cached=%v: cell %d diverged:\n got %+v\n ref %+v",
+						workers, cached, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

@@ -83,11 +83,22 @@ func (r *Ring) Owners(key string, n int) []string {
 	h := hash64(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	owners := make([]string, 0, n)
-	seen := make(map[int]bool, n)
+	// Dedup with a linear scan over the peers picked so far: n is the
+	// replica count (2–3), so the scan beats a map allocation on this hot
+	// path (every routed request and every replica walk comes through
+	// here).
+	picked := make([]int, 0, n)
 	for i := 0; len(owners) < n && i < len(r.points); i++ {
 		p := r.points[(start+i)%len(r.points)]
-		if !seen[p.peer] {
-			seen[p.peer] = true
+		dup := false
+		for _, q := range picked {
+			if q == p.peer {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			picked = append(picked, p.peer)
 			owners = append(owners, r.names[p.peer])
 		}
 	}

@@ -119,3 +119,21 @@ func TestRingRebalance(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkRingOwners measures the routing hot path (satellite: Owners
+// previously allocated a map per call; the fixed-slice dedup scan must stay
+// allocation-light for every forwarded request and replica walk).
+func BenchmarkRingOwners(b *testing.B) {
+	ring := NewRing([]string{"peer0", "peer1", "peer2"}, 0)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fingerprint-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if owners := ring.Owners(keys[i%len(keys)], 2); len(owners) != 2 {
+			b.Fatal("short owner list")
+		}
+	}
+}

@@ -61,10 +61,14 @@ func (r *Runner) Memo() *Memo { return r.memo }
 
 // ForEach runs fn(i) for every i in [0, n) on the runner's pool: Workers
 // long-lived goroutines pull indices from a channel until it drains. fn must
-// communicate results through index-addressed storage (one slot per job) and
-// must not call ForEach on the same runner. Because job identity is the
-// index — never the goroutine or completion order — any observable output
-// assembled from the slots in index order is independent of the worker count.
+// communicate results through index-addressed storage (one slot per job).
+// Nested calls are safe — each invocation owns its goroutines and index
+// channel, so a job may fan out a sub-problem (the partition driver solves
+// per-core schedules from inside a dispatcher job this way); note the
+// concurrency of nested levels multiplies, the worker bound is per call, not
+// per runner. Because job identity is the index — never the goroutine or
+// completion order — any observable output assembled from the slots in index
+// order is independent of the worker count.
 func (r *Runner) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return

@@ -109,14 +109,43 @@ type HTTPClient struct {
 	Sleep func(time.Duration)
 }
 
-// retryAfterOf parses the integer-seconds Retry-After form the serving layer
-// emits. Absent or unparsable headers mean "no hint".
+// maxRetryAfter clamps the server's hint: a peer (or a fronting proxy
+// rewriting the header) asking for more than this is treated as asking for
+// this much — the retry loop must never park a request for hours on one
+// bad header.
+const maxRetryAfter = 5 * time.Minute
+
+// now is time.Now, swappable so tests can pin HTTP-date arithmetic.
+var now = time.Now
+
+// retryAfterOf parses the Retry-After header in both RFC 9110 forms: the
+// integer-seconds delay the serving layer emits, and the HTTP-date form any
+// fronting proxy may rewrite it to. Absent or unparsable headers — and
+// negative or already-past values — mean "no hint" (0); absurd values clamp
+// to maxRetryAfter.
 func retryAfterOf(h http.Header) time.Duration {
-	secs, err := strconv.Atoi(h.Get("Retry-After"))
-	if err != nil || secs < 0 {
+	v := h.Get("Retry-After")
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = t.Sub(now())
+		if d < 0 {
+			return 0
+		}
+	} else {
+		return 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // Post sends body until a non-503 answer, a non-retryable failure, or the

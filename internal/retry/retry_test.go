@@ -182,3 +182,41 @@ func TestPostTransportFailureRetries(t *testing.T) {
 		t.Errorf("recorded %d pauses, want 2", pauses)
 	}
 }
+
+// TestRetryAfterForms is the regression for the Retry-After parser: both
+// RFC 9110 forms (integer seconds and HTTP-date), the missing-header case,
+// and the clamps on negative, past, and absurd values. Before the fix the
+// HTTP-date form — what any fronting proxy may rewrite the header to —
+// failed strconv.Atoi and silently dropped the server's hint to 0.
+func TestRetryAfterForms(t *testing.T) {
+	fixed := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	now = func() time.Time { return fixed }
+	defer func() { now = time.Now }()
+
+	hdr := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		name, value string
+		want        time.Duration
+	}{
+		{"missing", "", 0},
+		{"seconds", "3", 3 * time.Second},
+		{"zero_seconds", "0", 0},
+		{"negative_seconds", "-5", 0},
+		{"absurd_seconds", "86400", maxRetryAfter},
+		{"http_date", fixed.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second},
+		{"http_date_past", fixed.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http_date_absurd", fixed.Add(24 * time.Hour).Format(http.TimeFormat), maxRetryAfter},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		if got := retryAfterOf(hdr(tc.value)); got != tc.want {
+			t.Errorf("%s: retryAfterOf(%q) = %v, want %v", tc.name, tc.value, got, tc.want)
+		}
+	}
+}

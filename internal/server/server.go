@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
@@ -387,6 +388,11 @@ type canonicalRequest struct {
 	objective core.Objective
 	starts    int
 	subCap    int
+	// cores > 1 selects the partitioned pipeline (internal/partition);
+	// 0 is the single-core path. An explicit "cores":1 normalizes to 0 at
+	// canonicalization so it aliases the single-core request exactly —
+	// same fingerprint, same bytes.
+	cores int
 }
 
 // SubmitRequest is the POST /v1/schedules body.
@@ -404,6 +410,11 @@ type SubmitRequest struct {
 	Starts int `json:"starts,omitempty"`
 	// SubCap caps sub-instances per instance (0 = unlimited).
 	SubCap int `json:"subcap,omitempty"`
+	// Cores partitions the task set onto this many identical cores
+	// (first-fit-decreasing admission, per-core WCS/ACS solves, global
+	// energy objective — DESIGN.md §12). 0 or 1 is the single-core
+	// pipeline, byte-for-byte.
+	Cores int `json:"cores,omitempty"`
 }
 
 // CompareRequest is the POST /v1/compare body: a submit body plus the
@@ -441,16 +452,48 @@ type ScheduleResponse struct {
 	WCSAvgEnergy   *float64 `json:"wcs_avg_energy,omitempty"`
 	ImprovementPct *float64 `json:"improvement_pct,omitempty"`
 	// EndMs and WCWorkCycles are the two vectors the online DVS phase
-	// consumes (paper §3.2), in the plan's total order.
-	EndMs        []float64 `json:"end_ms"`
-	WCWorkCycles []float64 `json:"wcwork_cycles"`
-	// Degraded marks a response served from the WCS fallback because the
+	// consumes (paper §3.2), in the plan's total order. Single-core
+	// responses always carry them; partitioned responses carry them per
+	// core instead (omitempty keeps single-core bytes unchanged).
+	EndMs        []float64 `json:"end_ms,omitempty"`
+	WCWorkCycles []float64 `json:"wcwork_cycles,omitempty"`
+	// Degraded marks a response served (wholly or, for partitioned
+	// submits, on at least one core) from the WCS fallback because the
 	// ACS refinement exceeded the solve budget (DESIGN.md §10): the
 	// schedule is the worst-case-feasible one — always deadline-safe, just
 	// not average-case optimal — and WCSAvgEnergy/ImprovementPct are
 	// absent. Degraded responses sit outside the byte-determinism contract
 	// (whether a budget expires is a property of load, not of the request
 	// body); re-fetching the fingerprint re-attempts the full ACS solve.
+	Degraded bool `json:"degraded,omitempty"`
+	// Cores and PerCore are present only on partitioned responses
+	// (request cores > 1): the core count and each core's assignment +
+	// solved schedule. Top-level Pieces/Sweeps are sums over cores,
+	// PredictedEnergy is the global objective (Σ per-core energies), and
+	// WCSAvgEnergy/ImprovementPct are the global baseline/gain.
+	Cores   int                    `json:"cores,omitempty"`
+	PerCore []CoreScheduleResponse `json:"per_core,omitempty"`
+}
+
+// CoreScheduleResponse is one core of a partitioned ScheduleResponse.
+type CoreScheduleResponse struct {
+	Core int `json:"core"`
+	// TaskNames is the core's assignment, in the subset's rate-monotonic
+	// order (empty for an idle core).
+	TaskNames []string `json:"task_names"`
+	// Fingerprint is the grid content address of the core's sub-problem —
+	// identical to the fingerprint a single-core submit of exactly these
+	// tasks would get, which is what lets the memo share per-core solves
+	// across repartitions.
+	Fingerprint     string    `json:"fingerprint,omitempty"`
+	Pieces          int       `json:"pieces,omitempty"`
+	Sweeps          int       `json:"sweeps,omitempty"`
+	PredictedEnergy float64   `json:"predicted_energy,omitempty"`
+	EndMs           []float64 `json:"end_ms,omitempty"`
+	WCWorkCycles    []float64 `json:"wcwork_cycles,omitempty"`
+	// Degraded marks this core as serving its WCS schedule because its
+	// ACS budget share expired; the response's top-level Degraded is set
+	// whenever any core degrades.
 	Degraded bool `json:"degraded,omitempty"`
 }
 
@@ -518,6 +561,11 @@ func (s *Server) canonicalize(req *SubmitRequest) (*canonicalRequest, *apiError)
 	return canonicalizeSubmit(req, s.opts.Starts, s.opts.MaxTasks)
 }
 
+// maxCores bounds the partitioned pipeline's per-request fan-out: each core
+// is a separate WCS+ACS solve through the shared runner, so the bound plays
+// the same admission role MaxTasks does for set size.
+const maxCores = 16
+
 // canonicalizeSubmit is canonicalization as a pure function of the body and
 // the server defaults it is resolved against — factored out so the fleet
 // router computes the same fingerprint the peers do without holding a
@@ -537,9 +585,16 @@ func canonicalizeSubmit(req *SubmitRequest, defaultStarts, maxTasks int) (*canon
 	if err != nil {
 		return nil, errorf(http.StatusUnprocessableEntity, "admission: %v", err)
 	}
-	cr := &canonicalRequest{set: set, starts: req.Starts, subCap: req.SubCap}
+	cr := &canonicalRequest{set: set, starts: req.Starts, subCap: req.SubCap, cores: req.Cores}
 	if cr.starts <= 0 {
 		cr.starts = defaultStarts
+	}
+	if cr.cores < 0 || cr.cores > maxCores {
+		return nil, errorf(http.StatusUnprocessableEntity,
+			"admission: cores must lie in [0, %d], got %d", maxCores, cr.cores)
+	}
+	if cr.cores == 1 {
+		cr.cores = 0 // one core IS the single-core pipeline; alias it exactly
 	}
 	switch req.Objective {
 	case "", "acs":
@@ -578,10 +633,32 @@ func (cr *canonicalRequest) config(o core.Objective) core.Config {
 	return cfg
 }
 
+// partitionConfig is the fixed server policy for partitioned submits:
+// first-fit-decreasing admission, no improvement loop (moves are an offline
+// refinement, not a serving-path cost), per-core solver = the request's
+// solver config. The per-core ACS budget is load policy and is applied at
+// solve time, not here — it is excluded from the fingerprint like
+// SolveBudget is for single-core requests.
+func (cr *canonicalRequest) partitionConfig() partition.Config {
+	return partition.Config{
+		Cores:  cr.cores,
+		Mode:   partition.FirstFitDecreasing,
+		Solver: cr.config(cr.objective),
+	}
+}
+
 // fingerprint content-addresses the canonical request through the grid cache
 // key: the task-set fingerprint, the model identity, and every solver field
-// a solve is a function of.
+// a solve is a function of. Partitioned requests extend the key with the
+// partition knobs (core count, packing mode).
 func (cr *canonicalRequest) fingerprint() (string, *apiError) {
+	if cr.cores > 1 {
+		fp, ok := partition.Fingerprint(cr.set, cr.partitionConfig())
+		if !ok {
+			return "", errorf(http.StatusInternalServerError, "fingerprint: config not canonically encodable")
+		}
+		return fp, nil
+	}
 	key, ok := grid.ScheduleKey(cr.set, cr.config(cr.objective))
 	if !ok {
 		return "", errorf(http.StatusInternalServerError, "fingerprint: config not canonically encodable")
@@ -596,6 +673,9 @@ func (cr *canonicalRequest) fingerprint() (string, *apiError) {
 // state.
 func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest, fp string) any {
 	s.failpoint("pipeline.panic")
+	if cr.cores > 1 {
+		return s.buildPartitionResponse(ctx, cr, fp)
+	}
 	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
 		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
 	}
@@ -669,6 +749,77 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 	return resp
 }
 
+// buildPartitionResponse is the partitioned submit pipeline (DESIGN.md
+// §12): FFD admission under the exact per-core schedulability test, then
+// per-core WCS + warm-started ACS fanned through the shared grid runner —
+// each core a content-addressed sub-problem, so repartitions re-solve only
+// the cores they touch. The per-core ACS budget is the server's
+// SolveBudget; a core whose budget expires serves its WCS schedule and
+// marks the core and the whole response degraded — budget-truncated ACS
+// never reaches a non-degraded 200. Non-degraded responses are pure
+// functions of cr, like the single-core pipeline.
+func (s *Server) buildPartitionResponse(ctx context.Context, cr *canonicalRequest, fp string) any {
+	pcfg := cr.partitionConfig()
+	pcfg.ACSBudget = s.opts.SolveBudget
+	res, err := partition.Solve(ctx, s.runner, cr.set, pcfg)
+	if err != nil {
+		return solveError("partitioned synthesis", err)
+	}
+	resp := &ScheduleResponse{
+		Fingerprint: fp,
+		Objective:   cr.objective.String(),
+		Tasks:       cr.set.N(),
+		Cores:       pcfg.Cores,
+	}
+	if h, err := cr.set.Hyperperiod(); err == nil {
+		resp.HyperperiodMs = h
+	}
+	wcsAvgTotal := 0.0
+	for i := range res.Cores {
+		cs := &res.Cores[i]
+		pc := CoreScheduleResponse{Core: cs.Core, TaskNames: []string{}}
+		if cs.Set != nil {
+			for j := range cs.Set.Tasks {
+				pc.TaskNames = append(pc.TaskNames, cs.Set.Tasks[j].Name)
+			}
+			sched := cs.Schedule()
+			pc.Fingerprint = cs.Key
+			pc.Pieces = len(sched.Plan.Subs)
+			pc.Sweeps = sched.Sweeps
+			pc.PredictedEnergy = cs.Energy()
+			pc.EndMs = sched.End
+			pc.WCWorkCycles = sched.WCWork
+			pc.Degraded = cs.Degraded
+			resp.Pieces += pc.Pieces
+			resp.Sweeps += pc.Sweeps
+			if cr.objective == core.AverageCase && !cs.Degraded {
+				wcsAvg, err := cs.WCSAtAverage()
+				if err != nil {
+					return solveError("wcs baseline evaluation", err)
+				}
+				wcsAvgTotal += wcsAvg
+			}
+		}
+		if cs.Degraded {
+			resp.Degraded = true
+		}
+		resp.PerCore = append(resp.PerCore, pc)
+	}
+	resp.PredictedEnergy = res.Energy
+	if cr.objective == core.AverageCase && !resp.Degraded {
+		imp := 0.0
+		if wcsAvgTotal > 0 {
+			imp = 100 * (wcsAvgTotal - res.Energy) / wcsAvgTotal
+		}
+		resp.WCSAvgEnergy = &wcsAvgTotal
+		resp.ImprovementPct = &imp
+	}
+	if resp.Degraded {
+		s.nDegraded.Add(1)
+	}
+	return resp
+}
+
 // buildCompareResponse solves both objectives and simulates them under
 // identical workload draws — the Fig. 6 quantity, as a service. Pure
 // function of (cr, hyperperiods, seed).
@@ -732,6 +883,7 @@ type storedRequest struct {
 	Objective string      `json:"objective"`
 	Starts    int         `json:"starts"`
 	SubCap    int         `json:"subcap"`
+	Cores     int         `json:"cores,omitempty"`
 }
 
 // remember stores cr for later GETs, evicting the oldest stored request
@@ -759,6 +911,7 @@ func (s *Server) remember(fp string, cr *canonicalRequest) {
 	}
 	blob, err := json.Marshal(&storedRequest{
 		Tasks: cr.set.Tasks, Objective: obj, Starts: cr.starts, SubCap: cr.subCap,
+		Cores: cr.cores,
 	})
 	if err == nil {
 		err = s.opts.Checkpoints.PutBlob("request-"+fp, blob)
@@ -791,7 +944,7 @@ func (s *Server) lookup(fp string) *canonicalRequest {
 	if err != nil {
 		return nil
 	}
-	cr = &canonicalRequest{set: set, starts: sr.Starts, subCap: sr.SubCap}
+	cr = &canonicalRequest{set: set, starts: sr.Starts, subCap: sr.SubCap, cores: sr.Cores}
 	switch sr.Objective {
 	case "acs":
 		cr.objective = core.AverageCase
@@ -939,6 +1092,14 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	cr, e := s.canonicalize(&req.SubmitRequest)
 	if e != nil {
 		writeResult(w, e)
+		return
+	}
+	// Comparison simulates one processor's schedule pair; a partitioned
+	// set has no single plan to simulate. Reject rather than silently
+	// solving the single-core form of a multi-core request.
+	if cr.cores > 1 {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"compare is single-core; omit the cores field (got %d)", cr.cores))
 		return
 	}
 	fp, e := cr.fingerprint()

@@ -341,6 +341,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			"admission: sessions adapt the average-case model; the objective is always acs"))
 		return
 	}
+	// The feedback loop observes and re-solves one processor's plan;
+	// partitioned sets would need per-core estimator state that does not
+	// exist yet. Reject rather than silently adapting the single-core form.
+	if cr.cores > 1 {
+		writeResult(w, errorf(http.StatusUnprocessableEntity,
+			"admission: sessions are single-core; omit the cores field (got %d)", cr.cores))
+		return
+	}
 	if req.SessionID != "" && !validSessionID(req.SessionID) {
 		writeResult(w, errorf(http.StatusUnprocessableEntity,
 			"admission: session_id must be 1-64 characters of [A-Za-z0-9._-]"))

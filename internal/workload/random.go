@@ -33,6 +33,12 @@ type RandomConfig struct {
 	// CeffRange bounds the per-task effective capacitance, drawn uniformly;
 	// the default [1,1] gives every task unit capacitance.
 	CeffLo, CeffHi float64
+	// Cores is the number of identical cores the set targets: total
+	// worst-case utilisation at maximum speed is scaled to
+	// Utilization·Cores, so a partitioned system running each core near
+	// Utilization genuinely needs all of them. 0 or 1 selects the paper's
+	// single-core generator unchanged.
+	Cores int
 }
 
 func (c *RandomConfig) withDefaults() (RandomConfig, error) {
@@ -62,6 +68,12 @@ func (c *RandomConfig) withDefaults() (RandomConfig, error) {
 	}
 	if out.CeffLo <= 0 || out.CeffHi < out.CeffLo {
 		return out, fmt.Errorf("workload: bad Ceff range [%g, %g]", out.CeffLo, out.CeffHi)
+	}
+	if out.Cores < 0 {
+		return out, fmt.Errorf("workload: core count must be non-negative, got %d", out.Cores)
+	}
+	if out.Cores == 0 {
+		out.Cores = 1
 	}
 	return out, nil
 }
@@ -96,7 +108,7 @@ func Random(rng *stats.RNG, cfg RandomConfig) (*task.Set, error) {
 		return nil, err
 	}
 	u := set.UtilizationAt(tcMax)
-	return set.ScaleWCEC(c.Utilization / u)
+	return set.ScaleWCEC(c.Utilization * float64(c.Cores) / u)
 }
 
 // RandomFeasible draws task sets until one admits a feasible all-Vmax
