@@ -15,10 +15,19 @@
 // sees byte-identical workloads; the whole report is a pure function of the
 // flags.
 //
+// The harness also closes the capture/replay loop (DESIGN.md §13):
+// -record writes each scenario's observed execution-cycle stream to a
+// .trace file (the internal/trace stream format), and -replay runs the
+// static and adaptive arms over such a recording instead of a generated
+// scenario — offline feedback analysis against exactly the workload a
+// previous run saw.
+//
 // Usage:
 //
 //	adaptsim
 //	adaptsim -scenarios modeswitch,drift -horizon 480 -seed 7 -o BENCH_adapt.json
+//	adaptsim -record traces/ -scenarios modeswitch -horizon 160
+//	adaptsim -replay traces/modeswitch.trace -chunk 10
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -90,6 +100,8 @@ func run(args []string, stdout io.Writer) error {
 		workers   = fs.Int("workers", 0, "grid worker-pool width for solves (0 = GOMAXPROCS)")
 		noCache   = fs.Bool("nocache", false, "disable the schedule/plan memo (identical results, more solves)")
 		out       = fs.String("o", "", "also write the JSON report to this file")
+		record    = fs.String("record", "", "record each scenario's observation stream to DIR/<scenario>.trace")
+		replay    = fs.String("replay", "", "replay a recorded .trace file (static vs adaptive arms) instead of generating scenarios")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -99,6 +111,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *horizon <= 0 || *chunk <= 0 {
 		return fmt.Errorf("horizon and chunk must be positive")
+	}
+	if *replay != "" {
+		return runReplay(*replay, *chunk, *simWork, *workers, !*noCache, *out, stdout)
 	}
 	kinds, err := parseKinds(*scenarios)
 	if err != nil {
@@ -138,6 +153,11 @@ func run(args []string, stdout io.Writer) error {
 		rows, err := sc.Actuals(*horizon, taskOf)
 		if err != nil {
 			return err
+		}
+		if *record != "" {
+			if err := recordStream(*record, kind.String(), set, rows); err != nil {
+				return err
+			}
 		}
 
 		// Static arm: the initial plan over the whole stream, chunked
@@ -245,6 +265,120 @@ func runOracle(ctx context.Context, runner *grid.Runner, set *task.Set, sc *work
 		misses += r.DeadlineMisses
 	}
 	return energy, solves, misses, nil
+}
+
+// recordStream writes one scenario's observed rows as a .trace stream —
+// the same format schedd's -trace-dir recorder emits, so both feed the
+// same replayer.
+func recordStream(dir, name string, set *task.Set, rows [][]float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	f, err := os.Create(dir + "/" + name + ".trace")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteStream(f, &trace.Stream{Tasks: set.Tasks, Instances: width, Rows: rows}); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// replayReport is the -replay artefact: the two arms a recording supports
+// (the oracle needs the scenario's true regime means, which a recording
+// does not carry).
+type replayReport struct {
+	Source          string  `json:"source"`
+	Tasks           int     `json:"tasks"`
+	Horizon         int     `json:"horizon_hyperperiods"`
+	Chunk           int     `json:"chunk_hyperperiods"`
+	StaticEnergy    float64 `json:"static_energy"`
+	AdaptiveEnergy  float64 `json:"adaptive_energy"`
+	AdaptivePct     float64 `json:"adaptive_improvement_pct"`
+	Resolves        int64   `json:"resolves"`
+	Drifts          int64   `json:"drifts"`
+	SwapHyperperiod []int64 `json:"swap_hyperperiods"`
+	DeadlineMisses  int     `json:"deadline_misses"`
+}
+
+// runReplay re-runs a recorded observation stream through the static and
+// adaptive arms. The whole report is a pure function of the recording and
+// the chunk size — worker counts cannot change a byte of it.
+func runReplay(path string, chunk, simWork, workers int, cache bool, out string, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	s, err := trace.ReadStream(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	set, err := task.NewSet(s.Tasks)
+	if err != nil {
+		return fmt.Errorf("replay: recorded task set: %w", err)
+	}
+	var memo *grid.Memo
+	if cache {
+		memo = grid.NewMemo()
+	}
+	runner := grid.New(workers, memo)
+	ctx := context.Background()
+	ctrl, err := feedback.NewController(ctx, set, feedback.Options{Runner: runner})
+	if err != nil {
+		return err
+	}
+	if got, want := len(ctrl.TaskOf()), s.Instances; got != want {
+		return fmt.Errorf("replay: plan has %d instances per hyper-period, recording has %d", got, want)
+	}
+	simCfg := sim.Config{Policy: sim.Greedy, Workers: simWork}
+	horizon := len(s.Rows)
+	rep := &replayReport{Source: path, Tasks: set.N(), Horizon: horizon, Chunk: chunk}
+
+	staticPlan := ctrl.Plan()
+	for lo := 0; lo < horizon; lo += chunk {
+		r, err := staticPlan.RunActuals(simCfg, s.Rows[lo:min(lo+chunk, horizon)])
+		if err != nil {
+			return err
+		}
+		rep.StaticEnergy += r.Energy
+		rep.DeadlineMisses += r.DeadlineMisses
+	}
+	lr, err := feedback.RunReplay(ctx, ctrl, s.Rows, chunk, simCfg)
+	if err != nil {
+		return err
+	}
+	rep.AdaptiveEnergy = lr.Energy
+	rep.Resolves = lr.Resolves
+	rep.Drifts = lr.Drifts
+	rep.SwapHyperperiod = lr.SwapHyperperiods
+	rep.DeadlineMisses += lr.DeadlineMisses
+	if rep.StaticEnergy > 0 {
+		rep.AdaptivePct = 100 * (rep.StaticEnergy - rep.AdaptiveEnergy) / rep.StaticEnergy
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := stdout.Write(buf); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.DeadlineMisses > 0 {
+		return fmt.Errorf("%d deadline misses observed — a schedule is invalid", rep.DeadlineMisses)
+	}
+	return nil
 }
 
 func parseKinds(s string) ([]workload.ScenarioKind, error) {

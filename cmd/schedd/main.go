@@ -29,6 +29,8 @@
 //	                                schedule with its fingerprint
 //	GET  /v1/sessions/{id}          learned estimator and adaptation state
 //	GET  /v1/stats                  cache, batching, session and request counters
+//	GET  /metrics                   Prometheus text exposition of the same
+//	                                registry /v1/stats reads (DESIGN.md §13)
 //	GET  /v1/healthz                liveness
 //
 // Responses to submit/get/compare are byte-deterministic per request body
@@ -47,8 +49,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cliutil"
@@ -56,6 +61,8 @@ import (
 	"repro/internal/grid"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -86,6 +93,8 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		selfFlag    = fs.String("self", "", "fleet mode: this daemon's name in -peers")
 		replicas    = fs.Int("replicas", 2, "fleet mode: replication factor R — each key's records and checkpoints live on its first R ring owners")
 		vnodes      = fs.Int("vnodes", fleet.DefaultVnodes, "fleet mode: consistent-hash virtual nodes per peer")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; off by default)")
+		traceDir    = fs.String("trace-dir", "", "record each session's observation stream to DIR/<session>.trace (replayable with adaptsim -replay)")
 	)
 	if err := cliutil.ParseFlags(fs, args); err != nil {
 		return err
@@ -111,6 +120,14 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		QueueWait:       *queueWait,
 		SolveBudget:     *solveBudget,
 		Logf:            log.Printf,
+	}
+	if *traceDir != "" {
+		rec, err := newTraceRecorder(*traceDir)
+		if err != nil {
+			return fmt.Errorf("-trace-dir: %w", err)
+		}
+		defer rec.Close()
+		opts.ObserveSink = rec.observe
 	}
 	var blobLocal server.BlobStore
 	if *storeDir != "" {
@@ -185,11 +202,18 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 			Ring: ring, Topology: topo, Replicas: *replicas,
 			Starts: *starts, MaxTasks: *maxTasks, Logf: log.Printf,
 		})
+		// One /metrics scrape per peer covers both surfaces: the fleet
+		// router's routing counters register into the local server's
+		// registry.
+		router.RegisterMetrics(srv.Metrics())
 		local := srv.Handler()
 		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			// Already-routed traffic and peer replication go straight to the
-			// local server; everything else enters through the fleet router.
-			if r.Header.Get("X-Fleet-Forwarded") != "" || strings.HasPrefix(r.URL.Path, "/v1/internal/") {
+			// Already-routed traffic, peer replication, and metrics scrapes
+			// go straight to the local server (each peer reports its own
+			// registry — scraping is per-instance, never forwarded);
+			// everything else enters through the fleet router.
+			if r.Header.Get("X-Fleet-Forwarded") != "" || strings.HasPrefix(r.URL.Path, "/v1/internal/") ||
+				r.URL.Path == "/metrics" {
 				local.ServeHTTP(w, r)
 				return
 			}
@@ -197,6 +221,39 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		})
 		fmt.Fprintf(stdout, "schedd fleet: self=%s peers=%d replicas=%d vnodes=%d\n",
 			*selfFlag, len(ring.Peers()), *replicas, *vnodes)
+	}
+
+	// The pprof listener is a separate loopback-only server: profiling
+	// never rides the public port, and the flag is off by default. The
+	// metric registry is mounted there too, so an operator can scrape a
+	// daemon whose serving port is saturated.
+	if *pprofAddr != "" {
+		host, _, err := net.SplitHostPort(*pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		if ip := net.ParseIP(host); host != "localhost" && (ip == nil || !ip.IsLoopback()) {
+			return fmt.Errorf("-pprof must bind a loopback address, got %q", *pprofAddr)
+		}
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pmux.Handle("GET /metrics", srv.Metrics())
+		ps := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		pprofErr := make(chan error, 1)
+		go func() { pprofErr <- ps.Serve(pln) }()
+		defer func() {
+			ps.Close()
+			<-pprofErr // the serve goroutine has exited (leak-checked)
+		}()
+		fmt.Fprintf(stdout, "schedd pprof on %s\n", pln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -237,6 +294,80 @@ func run(ctx context.Context, args []string, stdout io.Writer, ready chan<- stri
 		return nil
 	}
 	return err
+}
+
+// traceRecorder is the -trace-dir observe sink: every successfully folded
+// observation batch appends to DIR/<session>.trace in the internal/trace
+// stream format — the same files adaptsim -record writes and adaptsim
+// -replay (or feedback.RunReplay) consumes. Each batch is flushed as it
+// lands, so a crashed daemon leaves every recording's complete prefix. A
+// session restored on another peer starts a fresh file there; recordings
+// are per-instance, like every other observability surface.
+type traceRecorder struct {
+	dir     string
+	mu      sync.Mutex
+	files   map[string]*os.File
+	writers map[string]*trace.StreamWriter
+}
+
+func newTraceRecorder(dir string) (*traceRecorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &traceRecorder{
+		dir:     dir,
+		files:   make(map[string]*os.File),
+		writers: make(map[string]*trace.StreamWriter),
+	}, nil
+}
+
+// observe implements server.Options.ObserveSink. Failures are logged, never
+// surfaced: recording is observational and must not fail an observe.
+func (tr *traceRecorder) observe(sessionID string, model *task.Set, rows [][]float64) {
+	if len(rows) == 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	sw, ok := tr.writers[sessionID]
+	if !ok {
+		// Session ids are [A-Za-z0-9._-] by admission, so they are safe
+		// file names.
+		f, err := os.Create(filepath.Join(tr.dir, sessionID+".trace"))
+		if err != nil {
+			log.Printf("schedd: trace recorder: %v", err)
+			return
+		}
+		sw, err = trace.NewStreamWriter(f, model, len(rows[0]))
+		if err != nil {
+			f.Close()
+			log.Printf("schedd: trace recorder %s: %v", sessionID, err)
+			return
+		}
+		tr.files[sessionID] = f
+		tr.writers[sessionID] = sw
+	}
+	if err := sw.Append(rows); err != nil {
+		log.Printf("schedd: trace recorder %s: %v", sessionID, err)
+		return
+	}
+	if err := sw.Flush(); err != nil {
+		log.Printf("schedd: trace recorder %s: %v", sessionID, err)
+	}
+}
+
+// Close flushes and closes every recording.
+func (tr *traceRecorder) Close() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for id, sw := range tr.writers {
+		if err := sw.Flush(); err != nil {
+			log.Printf("schedd: trace recorder %s: %v", id, err)
+		}
+		tr.files[id].Close()
+	}
+	tr.writers = make(map[string]*trace.StreamWriter)
+	tr.files = make(map[string]*os.File)
 }
 
 // parseFleetPeers parses the -peers table: comma-separated name=url entries.

@@ -6,11 +6,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestRunServeAndShutdown boots the daemon on an ephemeral port, drives one
@@ -263,5 +266,121 @@ func TestWarmRestartServesFromStore(t *testing.T) {
 	}
 	if st.Memo.DiskHits == 0 || st.Memo.RecoveredEntries == 0 {
 		t.Errorf("warm restart did not serve from the recovered log: %s", statsBody)
+	}
+}
+
+// TestObservabilityEndpoints boots the daemon with the pprof sidecar and
+// the trace recorder on: /metrics must serve valid exposition on both
+// listeners, pprof must answer on its loopback port only, and a session's
+// observation stream must land on disk as a readable trace — with a clean,
+// leak-checked shutdown around all of it.
+func TestObservabilityEndpoints(t *testing.T) {
+	leakcheck.Check(t)
+	pprofAddr := freePorts(t, 1)[0]
+	traceDir := t.TempDir()
+	addr, stop := bootDaemon(t, []string{
+		"-addr", "127.0.0.1:0", "-batchwindow", "1ms",
+		"-pprof", pprofAddr, "-trace-dir", traceDir,
+	})
+
+	body := `{"tasks":[{"name":"a","period_ms":10,"wcec":4,"acec":2,"bcec":1,"ceff":1},` +
+		`{"name":"b","period_ms":20,"wcec":6,"acec":3,"bcec":2,"ceff":1}]}`
+	resp, err := http.Post("http://"+addr+"/v1/schedules", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	// A short session stream for the recorder.
+	resp, err = http.Post("http://"+addr+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session create: %d %s", resp.StatusCode, createBody)
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+		Instances int    `json:"instances"`
+	}
+	if err := json.Unmarshal(createBody, &created); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, 3)
+	for i := range rows {
+		rows[i] = make([]float64, created.Instances)
+		for j := range rows[i] {
+			rows[i][j] = 2
+		}
+	}
+	obsBody, _ := json.Marshal(struct {
+		Hyperperiods [][]float64 `json:"hyperperiods"`
+	}{rows})
+	resp, err = http.Post("http://"+addr+"/v1/sessions/"+created.SessionID+"/observe",
+		"application/json", strings.NewReader(string(obsBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("observe: %d", resp.StatusCode)
+	}
+
+	// /metrics on the serving port: strictly valid exposition with the
+	// request counter moving.
+	for _, base := range []string{addr, pprofAddr} {
+		resp, err = http.Get("http://" + base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams, perr := obs.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || perr != nil {
+			t.Fatalf("metrics on %s: status %d, parse: %v", base, resp.StatusCode, perr)
+		}
+		if v, ok := obs.SampleValue(fams, "schedd_requests_total", obs.L("endpoint", "submit")); !ok || v < 1 {
+			t.Errorf("metrics on %s: submit counter = %v (present %v)", base, v, ok)
+		}
+	}
+
+	// pprof answers on its own loopback listener.
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+
+	stop()
+
+	// The recording survived shutdown and replays as a valid stream.
+	f, err := os.Open(traceDir + "/" + created.SessionID + ".trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.ReadStream(f)
+	if err != nil {
+		t.Fatalf("recorded trace unreadable: %v", err)
+	}
+	if len(rec.Rows) != 3 || rec.Instances != created.Instances {
+		t.Fatalf("recording has %d rows width %d, want 3 width %d", len(rec.Rows), rec.Instances, created.Instances)
+	}
+}
+
+// TestPprofRejectsNonLoopback: the profiling sidecar refuses to bind a
+// routable address.
+func TestPprofRejectsNonLoopback(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-pprof", "0.0.0.0:0"}, &out, nil)
+	if err == nil || !strings.Contains(err.Error(), "loopback") {
+		t.Fatalf("non-loopback -pprof accepted: %v", err)
 	}
 }

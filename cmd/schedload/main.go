@@ -73,6 +73,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fleet"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/retry"
 	"repro/internal/server"
@@ -113,7 +114,28 @@ type report struct {
 	Cache    *cacheReport    `json:"cache,omitempty"`
 	Restart  *restartReport  `json:"restart,omitempty"`
 	Fleet    *fleetReport    `json:"fleet,omitempty"`
+	Metrics  *metricsReport  `json:"metrics,omitempty"`
 	Server   json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// metricsStage summarises one server-side stage latency histogram
+// (schedd_stage_seconds{stage=...}) from the end-of-run /metrics scrape.
+// Quantiles are interpolated within histogram buckets, in milliseconds.
+type metricsStage struct {
+	Stage string  `json:"stage"`
+	Count float64 `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// metricsReport is the parsed end-of-run /metrics scrape: where the
+// report's latency_ms section measures the client's wall clock, this one
+// breaks the server's side down by pipeline stage. The scrape is also a
+// format gate — unparseable exposition fails the whole run.
+type metricsReport struct {
+	SubmitsTotal float64        `json:"submit_requests_total"`
+	Stages       []metricsStage `json:"stages,omitempty"`
 }
 
 // fleetReport describes a -fleet run: the topology, which peer (if any) was
@@ -472,6 +494,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 		rep.Restart = rr
 	}
+	// End-of-run /metrics scrape (DESIGN.md §13). Single-server targets only
+	// — the in-process fleet router has no registry of its own. The scrape
+	// must parse as strict exposition format, and against the clean
+	// in-process server the submit counter must equal exactly what this
+	// client sent: the initial stream plus every retry (the server counts
+	// shed requests too — both sides see the same wire).
+	if fh == nil {
+		mr, err := scrapeMetrics(client, base)
+		if err != nil {
+			return fmt.Errorf("scraping /metrics: %w", err)
+		}
+		rep.Metrics = mr
+		if *addr == "" && warm == nil {
+			want := float64(*requests) + float64(cold.retries)
+			if mr.SubmitsTotal != want {
+				return fmt.Errorf("metrics cross-check: server counted %g submit requests, client sent %g (%d requests + %d retries)",
+					mr.SubmitsTotal, want, *requests, cold.retries)
+			}
+		}
+	}
 	if fh != nil {
 		fr := &fleetReport{
 			Peers: *fleetN, Replicas: *replicas,
@@ -794,6 +836,49 @@ func launchFleetProcs(names []string, replicas int, bin string) (*fleetHarness, 
 		},
 		stopFn: stopAll,
 	}, nil
+}
+
+// scrapeMetrics fetches and strictly parses the server's /metrics, then
+// lifts the stage latency histograms into quantile summaries. Any
+// exposition-format violation is an error — the load run doubles as the
+// format smoke for the metrics surface.
+func scrapeMetrics(client *http.Client, base string) (*metricsReport, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics answered %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("invalid exposition format: %w", err)
+	}
+	mr := &metricsReport{}
+	mr.SubmitsTotal, _ = obs.SampleValue(fams, "schedd_requests_total", obs.L("endpoint", "submit"))
+	for _, stage := range []string{
+		"admission_wait", "batch_assembly", "solve_wcs", "solve_acs",
+		"solve_partition", "sim", "store_get", "store_put", "feedback_resolve",
+	} {
+		lab := obs.L("stage", stage)
+		n, ok := obs.SampleValue(fams, "schedd_stage_seconds_count", lab)
+		if !ok || n == 0 {
+			continue // stage never ran in this workload
+		}
+		ms := metricsStage{Stage: stage, Count: n}
+		if q, ok := obs.HistogramQuantile(fams, "schedd_stage_seconds", 0.50, lab); ok {
+			ms.P50Ms = 1e3 * q
+		}
+		if q, ok := obs.HistogramQuantile(fams, "schedd_stage_seconds", 0.90, lab); ok {
+			ms.P90Ms = 1e3 * q
+		}
+		if q, ok := obs.HistogramQuantile(fams, "schedd_stage_seconds", 0.99, lab); ok {
+			ms.P99Ms = 1e3 * q
+		}
+		mr.Stages = append(mr.Stages, ms)
+	}
+	return mr, nil
 }
 
 // statsCapture is one /v1/stats snapshot: the raw bytes for the report plus

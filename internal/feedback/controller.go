@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -35,6 +36,11 @@ type Options struct {
 	// MinCount is the minimum number of fresh observations a task needs for
 	// its estimated mean to replace its ACEC in a re-solve (default 8).
 	MinCount int64
+	// OnResolve, when set, is called with the wall-clock duration of every
+	// solve pipeline (WCS + warm ACS + compile), including the initial
+	// solve. Purely observational — it must not mutate the controller and
+	// has no effect on results.
+	OnResolve func(d time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +172,10 @@ func NewController(ctx context.Context, set *task.Set, opts Options) (*Controlle
 // resolve builds WCS and warm-started ACS for model through the runner,
 // compiles the plan, and installs all three.
 func (c *Controller) resolve(ctx context.Context, model *task.Set) error {
+	if c.opts.OnResolve != nil {
+		t0 := time.Now()
+		defer func() { c.opts.OnResolve(time.Since(t0)) }()
+	}
 	wcsCfg := c.opts.Solver
 	wcsCfg.Objective = core.WorstCase
 	wcsCfg.WarmStart = nil

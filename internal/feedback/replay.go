@@ -1,0 +1,64 @@
+package feedback
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunReplay drives the identical closed-loop cycle as RunClosedLoop, but
+// over a recorded observation stream instead of a live scenario: rows is
+// one per-instance actual-cycles row per hyper-period, in plan order (the
+// trace.Stream format captured by schedd's observe sink or adaptsim
+// -record). The horizon is len(rows). Because the controller's fold, the
+// drift detector, and every re-solve are deterministic, replaying the
+// same stream reproduces the same energies, swap points, and
+// fingerprints bit-for-bit on any sim worker count and cache state —
+// which is what lets a checked-in corpus pin adaptive-vs-static gains as
+// regressions.
+//
+// simCfg's Policy, Overhead, Workers and Ctx apply to execution; Seed,
+// Dist and Hyperperiods are ignored (the recorded rows replace them).
+// ctx bounds re-solves.
+func RunReplay(ctx context.Context, ctrl *Controller, rows [][]float64, chunk int, simCfg sim.Config) (*LoopResult, error) {
+	horizon := len(rows)
+	if horizon == 0 {
+		return nil, fmt.Errorf("feedback: replay needs a non-empty observation stream")
+	}
+	if chunk <= 0 {
+		chunk = 10
+	}
+	width := len(ctrl.TaskOf())
+	for i, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("feedback: replay row %d has %d instances, want %d", i, len(row), width)
+		}
+	}
+	out := &LoopResult{Fingerprints: []string{ctrl.Fingerprint()}}
+	for lo := 0; lo < horizon; lo += chunk {
+		hi := lo + chunk
+		if hi > horizon {
+			hi = horizon
+		}
+		res, err := ctrl.Plan().RunActuals(simCfg, rows[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		out.Energy += res.Energy
+		out.DeadlineMisses += res.DeadlineMisses
+		out.Switches += res.Switches
+		out.BusyTime += res.BusyTime
+		d, err := ctrl.ObserveChunk(ctx, rows[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		if d.Resolved && hi < horizon {
+			out.Fingerprints = append(out.Fingerprints, d.Fingerprint)
+			out.SwapHyperperiods = append(out.SwapHyperperiods, int64(hi))
+		}
+	}
+	out.Resolves = ctrl.Resolves()
+	out.Drifts = ctrl.DriftsFired()
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package feedback
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// loadCorpus reads the checked-in recorded observation stream (generated
+// once with `adaptsim -record -scenarios modeswitch -horizon 160 -n 4
+// -seed 1` and committed under testdata/).
+func loadCorpus(t *testing.T) (*trace.Stream, *task.Set) {
+	t.Helper()
+	f, err := os.Open("testdata/modeswitch.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.ReadStream(f)
+	if err != nil {
+		t.Fatalf("corpus is not a valid stream: %v", err)
+	}
+	set, err := task.NewSet(s.Tasks)
+	if err != nil {
+		t.Fatalf("corpus task set: %v", err)
+	}
+	return s, set
+}
+
+func replayCorpus(t *testing.T, s *trace.Stream, set *task.Set, workers, simWorkers int) (*LoopResult, float64) {
+	t.Helper()
+	ctx := context.Background()
+	runner := grid.New(workers, grid.NewMemo())
+	ctrl, err := NewController(ctx, set, Options{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrl.TaskOf()) != s.Instances {
+		t.Fatalf("plan has %d instances, corpus %d", len(ctrl.TaskOf()), s.Instances)
+	}
+	simCfg := sim.Config{Policy: sim.Greedy, Workers: simWorkers}
+	var static float64
+	plan := ctrl.Plan()
+	for lo := 0; lo < len(s.Rows); lo += 10 {
+		hi := min(lo+10, len(s.Rows))
+		r, err := plan.RunActuals(simCfg, s.Rows[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		static += r.Energy
+	}
+	lr, err := RunReplay(ctx, ctrl, s.Rows, 10, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lr, static
+}
+
+// TestReplayCorpusPinsAdaptiveGain is the closed capture/replay loop as a
+// regression: the committed mode-switch recording must keep adapting —
+// drift detected, one re-solve, plan swapped at the recorded boundary —
+// and must keep beating the static schedule by a healthy margin. The
+// floor (10%) sits under the recorded 12.9% with room for legitimate
+// estimator tuning, but a regression that stops the controller adapting
+// (0%) or breaks the solver fails loudly.
+func TestReplayCorpusPinsAdaptiveGain(t *testing.T) {
+	s, set := loadCorpus(t)
+	if len(s.Rows) != 160 || set.N() != 4 {
+		t.Fatalf("corpus shape drifted: %d rows, %d tasks (want 160, 4)", len(s.Rows), set.N())
+	}
+	lr, static := replayCorpus(t, s, set, 0, 0)
+
+	if lr.DeadlineMisses != 0 {
+		t.Fatalf("replay missed %d deadlines — an adapted schedule is invalid", lr.DeadlineMisses)
+	}
+	if lr.Drifts != 1 || lr.Resolves != 1 {
+		t.Errorf("corpus replay fired drifts=%d resolves=%d, want 1/1", lr.Drifts, lr.Resolves)
+	}
+	if len(lr.SwapHyperperiods) != 1 || lr.SwapHyperperiods[0] != 100 {
+		t.Errorf("plan swaps at %v, want [100]", lr.SwapHyperperiods)
+	}
+	if len(lr.Fingerprints) != 2 || lr.Fingerprints[0] == lr.Fingerprints[1] {
+		t.Errorf("fingerprint trail %v, want initial + one distinct adapted", lr.Fingerprints)
+	}
+	if static <= 0 || lr.Energy <= 0 {
+		t.Fatalf("degenerate energies: static=%v adaptive=%v", static, lr.Energy)
+	}
+	gain := 100 * (static - lr.Energy) / static
+	if gain < 10 {
+		t.Errorf("adaptive gain over static = %.2f%%, want >= 10%% (corpus recorded 12.9%%)", gain)
+	}
+}
+
+// TestReplayDeterministicAcrossWorkers pins the replay determinism
+// contract bit-for-bit: solver worker count and sim worker count must not
+// change a single output of a replay.
+func TestReplayDeterministicAcrossWorkers(t *testing.T) {
+	s, set := loadCorpus(t)
+	ref, refStatic := replayCorpus(t, s, set, 1, 1)
+	for _, w := range []struct{ workers, simWorkers int }{{2, 3}, {4, 2}} {
+		lr, static := replayCorpus(t, s, set, w.workers, w.simWorkers)
+		if lr.Energy != ref.Energy || static != refStatic {
+			t.Errorf("workers=%v: energy %v/%v, want %v/%v (bit-identical)",
+				w, lr.Energy, static, ref.Energy, refStatic)
+		}
+		if lr.Resolves != ref.Resolves || lr.Drifts != ref.Drifts {
+			t.Errorf("workers=%v: resolves/drifts %d/%d, want %d/%d",
+				w, lr.Resolves, lr.Drifts, ref.Resolves, ref.Drifts)
+		}
+		if len(lr.Fingerprints) != len(ref.Fingerprints) {
+			t.Errorf("workers=%v: %d fingerprints, want %d", w, len(lr.Fingerprints), len(ref.Fingerprints))
+			continue
+		}
+		for i := range lr.Fingerprints {
+			if lr.Fingerprints[i] != ref.Fingerprints[i] {
+				t.Errorf("workers=%v: fingerprint %d = %s, want %s", w, i, lr.Fingerprints[i], ref.Fingerprints[i])
+			}
+		}
+	}
+}
+
+// TestReplayRejectsBadInput covers the replay loader's guard rails.
+func TestReplayRejectsBadInput(t *testing.T) {
+	s, set := loadCorpus(t)
+	ctx := context.Background()
+	runner := grid.New(1, nil)
+	ctrl, err := NewController(ctx, set, Options{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunReplay(ctx, ctrl, nil, 10, sim.Config{Policy: sim.Greedy}); err == nil {
+		t.Error("empty stream accepted")
+	}
+	bad := [][]float64{s.Rows[0][:len(s.Rows[0])-1]}
+	if _, err := RunReplay(ctx, ctrl, bad, 10, sim.Config{Policy: sim.Greedy}); err == nil {
+		t.Error("width-mismatched row accepted")
+	}
+}

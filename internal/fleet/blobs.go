@@ -95,7 +95,7 @@ func (b *ReplicatedBlobs) PutBlob(name string, data []byte) error {
 			continue
 		}
 		b.pushes.Add(1)
-		res, err := b.topo.do(context.Background(), peer, http.MethodPut, "/v1/internal/blobs/"+name, data)
+		res, err := b.topo.do(context.Background(), peer, http.MethodPut, "/v1/internal/blobs/"+name, data, "")
 		if err == nil && res.status != http.StatusOK {
 			err = &pushError{peer: peer, status: res.status}
 		}
@@ -147,7 +147,7 @@ func (b *ReplicatedBlobs) GetBlob(name string) ([]byte, bool, error) {
 			continue
 		}
 		b.remoteGets.Add(1)
-		res, rerr := b.topo.do(context.Background(), peer, http.MethodGet, "/v1/internal/blobs/"+name, nil)
+		res, rerr := b.topo.do(context.Background(), peer, http.MethodGet, "/v1/internal/blobs/"+name, nil, "")
 		if rerr != nil || res.status != http.StatusOK {
 			continue
 		}

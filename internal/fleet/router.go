@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -206,6 +207,15 @@ func (r *Router) handleSessionPath(w http.ResponseWriter, req *http.Request) {
 // winning peer's bytes verbatim. session marks the session-stateful paths,
 // whose non-owner serves count as takeovers rather than failovers.
 func (r *Router) route(w http.ResponseWriter, req *http.Request, key, path string, body []byte, hedge, session bool) {
+	// One trace identity per request, fixed before the first hop: honour a
+	// caller-supplied X-Trace-Id, mint one otherwise, echo it, and forward
+	// it with every peer attempt — owner, hedge, and failover alike — so a
+	// request's whole fleet journey shares one id.
+	tid := req.Header.Get(obs.TraceHeader)
+	if tid == "" {
+		tid = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, tid)
 	owners := r.ring.Owners(key, r.opts.Replicas)
 	if len(owners) == 0 {
 		writeJSONError(w, http.StatusServiceUnavailable, "fleet: no peers configured", r.retryAfterSecs())
@@ -224,9 +234,9 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request, key, path strin
 		var res *peerResult
 		var idx int
 		if hedge {
-			res, idx = r.tryHedged(ctx, owners, req.Method, path, body)
+			res, idx = r.tryHedged(ctx, owners, req.Method, path, body, tid)
 		} else {
-			res, idx = r.trySequential(ctx, owners, req.Method, path, body)
+			res, idx = r.trySequential(ctx, owners, req.Method, path, body, tid)
 		}
 		if res != nil && res.status != http.StatusServiceUnavailable {
 			r.noteServed(owners[idx], idx, session)
@@ -265,7 +275,7 @@ func (r *Router) route(w http.ResponseWriter, req *http.Request, key, path strin
 // peer with a non-503 answer wins. 503s are remembered (the last one is
 // relayed if the whole pass fails); transport errors feed the breaker via
 // Topology.do and move on.
-func (r *Router) trySequential(ctx context.Context, owners []string, method, path string, body []byte) (*peerResult, int) {
+func (r *Router) trySequential(ctx context.Context, owners []string, method, path string, body []byte, traceID string) (*peerResult, int) {
 	var last *peerResult
 	lastIdx := -1
 	for i, peer := range owners {
@@ -273,7 +283,7 @@ func (r *Router) trySequential(ctx context.Context, owners []string, method, pat
 		if br == nil || !br.Allow() {
 			continue
 		}
-		res, err := r.topo.do(ctx, peer, method, path, body)
+		res, err := r.topo.do(ctx, peer, method, path, body, traceID)
 		if err != nil {
 			r.counters[peer].errors.Add(1)
 			continue
@@ -294,7 +304,7 @@ func (r *Router) trySequential(ctx context.Context, owners []string, method, pat
 // goroutine's only blocking op is the breaker-recorded HTTP call under the
 // canceled-on-return context, so no goroutine outlives the call
 // (leakcheck-pinned by TestHedgedReadNoLeak).
-func (r *Router) tryHedged(ctx context.Context, owners []string, method, path string, body []byte) (*peerResult, int) {
+func (r *Router) tryHedged(ctx context.Context, owners []string, method, path string, body []byte, traceID string) (*peerResult, int) {
 	allowed := make([]int, 0, len(owners))
 	for i, peer := range owners {
 		if br := r.topo.Breaker(peer); br != nil && br.Allow() {
@@ -321,7 +331,7 @@ func (r *Router) tryHedged(ctx context.Context, owners []string, method, path st
 		launched++
 		pending++
 		go func() {
-			res, err := r.topo.do(hctx, owners[idx], method, path, body)
+			res, err := r.topo.do(hctx, owners[idx], method, path, body, traceID)
 			results <- hedgeResult{res, err, idx}
 		}()
 	}
@@ -470,6 +480,34 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(append(buf, '\n'))
+}
+
+// RegisterMetrics bridges the router's routing counters into a metric
+// registry (typically the co-located server's, so one /metrics scrape
+// covers both the solver and the fleet front end). Scrape-time reads of
+// the same atomics /v1/stats reports — the surfaces cannot disagree.
+func (r *Router) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("schedd_fleet_503s_total", "Fleet-originated 503s (every replica dead or shedding).", r.fleet503s.Load)
+	for _, name := range r.ring.Peers() {
+		c := r.counters[name]
+		peer := obs.L("peer", name)
+		reg.CounterFunc("schedd_fleet_forwards_total", "Requests served by this peer.", c.forwards.Load, peer)
+		reg.CounterFunc("schedd_fleet_hedges_total", "Hedged reads launched at this peer.", c.hedges.Load, peer)
+		reg.CounterFunc("schedd_fleet_failovers_total", "Non-owner serves by this peer (stateless paths).", c.failovers.Load, peer)
+		reg.CounterFunc("schedd_fleet_takeovers_total", "Non-owner serves on session paths (replica continuing a dead owner's stream).", c.takeovers.Load, peer)
+		reg.CounterFunc("schedd_fleet_errors_total", "Transport-level failures talking to this peer.", c.errors.Load, peer)
+		br := r.topo.Breaker(name)
+		reg.GaugeFunc("schedd_fleet_peer_state", "Peer circuit-breaker position: 0 closed, 1 open, 2 half-open.", func() float64 {
+			switch br.Snapshot().State {
+			case "open":
+				return 1
+			case "half-open":
+				return 2
+			default:
+				return 0
+			}
+		}, peer)
+	}
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

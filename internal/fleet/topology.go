@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Topology is the live view of the fleet's peers: where each one currently
@@ -122,7 +123,11 @@ type peerResult struct {
 // records the transport outcome on its breaker (an HTTP answer of any status
 // is breaker success — the peer is alive; only transport-level failures are
 // evidence of death). Callers must have checked Allow.
-func (t *Topology) do(ctx context.Context, name, method, path string, body []byte) (*peerResult, error) {
+// do forwards one request to a peer. traceID, when non-empty, rides along
+// as the X-Trace-Id header so a request keeps one identity across every
+// hop of the fleet (purely observational — peers never read it into any
+// response byte).
+func (t *Topology) do(ctx context.Context, name, method, path string, body []byte, traceID string) (*peerResult, error) {
 	ps := t.peer(name)
 	if ps == nil {
 		return nil, fmt.Errorf("fleet: unknown peer %q", name)
@@ -149,6 +154,9 @@ func (t *Topology) do(ctx context.Context, name, method, path string, body []byt
 	// Marks the request as already routed: a peer in -fleet mode serves it
 	// locally instead of re-forwarding (loop prevention).
 	req.Header.Set("X-Fleet-Forwarded", "1")
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	resp, err := t.client.Do(req)
 	if err != nil {
 		ps.breaker.Record(err)

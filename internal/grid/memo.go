@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -120,14 +121,19 @@ func through[T any](
 		flights[key] = f
 		m.mu.Unlock()
 
-		if v, err, ok := get(key); ok {
+		getDone := obs.StartSpan(ctx, "store_get")
+		v, err, ok := get(key)
+		getDone()
+		if ok {
 			hits.Add(1)
 			f.val, f.err = v, err
 		} else {
 			misses.Add(1)
 			f.val, f.err = build()
 			if !uncacheable(f.err) {
+				putDone := obs.StartSpan(ctx, "store_put")
 				put(key, f.val, f.err)
+				putDone()
 			}
 		}
 		m.mu.Lock()

@@ -1,0 +1,463 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line. For histograms Name keeps
+// the full sample name (family plus _bucket/_sum/_count suffix).
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Family is one parsed metric family: its # TYPE, optional # HELP, and
+// every sample attributed to it (histogram _bucket/_sum/_count samples
+// attach to the base family).
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+// ParseExposition parses Prometheus text exposition format and validates
+// it strictly: every sample must belong to a family with a preceding
+// # TYPE line, all metric and label names must be legal, counter values
+// must be finite and non-negative, and histogram buckets must be
+// cumulative with a closing +Inf bucket that matches _count. It exists
+// so tests and load clients can fail hard on format rot in the
+// hand-rolled writer.
+func ParseExposition(r io.Reader) ([]Family, error) {
+	fams := make(map[string]*Family)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams, &order); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := parseSample(line, fams); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %w", err)
+	}
+	out := make([]Family, 0, len(order))
+	for _, n := range order {
+		f := fams[n]
+		if f.Type == "" {
+			return nil, fmt.Errorf("obs: family %s has samples but no # TYPE line", n)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+func parseComment(line string, fams map[string]*Family, order *[]string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed %s line %q", fields[1], line)
+	}
+	name := fields[2]
+	if !ValidMetricName(name) {
+		return fmt.Errorf("invalid metric name %q in %s line", name, fields[1])
+	}
+	f := fams[name]
+	if f == nil {
+		f = &Family{Name: name}
+		fams[name] = f
+		*order = append(*order, name)
+	}
+	rest := ""
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if fields[1] == "HELP" {
+		f.Help = rest
+		return nil
+	}
+	switch rest {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("unknown metric type %q for %s", rest, name)
+	}
+	if f.Type != "" {
+		return fmt.Errorf("duplicate # TYPE for %s", name)
+	}
+	if len(f.Samples) > 0 {
+		return fmt.Errorf("# TYPE for %s appears after its samples", name)
+	}
+	f.Type = rest
+	return nil
+}
+
+func parseSample(line string, fams map[string]*Family) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	var labels []Label
+	if strings.HasPrefix(rest, "{") {
+		labels, rest, err = splitLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	valStr := strings.Fields(rest)
+	if len(valStr) == 0 || len(valStr) > 2 { // value [timestamp]
+		return fmt.Errorf("sample %s: malformed value %q", name, rest)
+	}
+	v, err := parseValue(valStr[0])
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+
+	f, sampleOf := resolveFamily(fams, name)
+	if f == nil {
+		return fmt.Errorf("sample %s has no preceding # TYPE line", name)
+	}
+	if f.Type == "counter" && (math.IsNaN(v) || v < 0) {
+		return fmt.Errorf("counter %s has non-monotone value %v", name, v)
+	}
+	_ = sampleOf
+	f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: v})
+	return nil
+}
+
+// resolveFamily maps a sample name to its family, peeling histogram
+// suffixes when the base family is a known histogram.
+func resolveFamily(fams map[string]*Family, name string) (*Family, string) {
+	if f := fams[name]; f != nil && f.Type != "" && f.Type != "histogram" {
+		return f, name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := fams[base]; f != nil && f.Type == "histogram" {
+				return f, base
+			}
+		}
+	}
+	if f := fams[name]; f != nil && f.Type != "" {
+		return f, name
+	}
+	return nil, name
+}
+
+func splitName(line string) (name, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name = line[:i]
+	if !ValidMetricName(name) {
+		return "", "", fmt.Errorf("invalid sample name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+func splitLabels(rest string) ([]Label, string, error) {
+	var labels []Label
+	s := rest[1:] // past '{'
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed labels near %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !ValidLabelName(key) && key != "le" && key != "quantile" {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label %s value is not quoted", key)
+		}
+		val, tail, err := unquoteLabel(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", key, err)
+		}
+		labels = append(labels, Label{Key: key, Value: val})
+		s = tail
+	}
+}
+
+func unquoteLabel(s string) (val, rest string, err error) {
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '"' {
+			return b.String(), s[i+1:], nil
+		}
+		if c == '\\' {
+			if i+1 >= len(s) {
+				break
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i+1])
+			}
+			i += 2
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// checkHistogram validates every bucket series in a histogram family:
+// cumulative counts non-decreasing in le order, a closing +Inf bucket,
+// and _count equal to the +Inf bucket.
+func checkHistogram(f *Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+	}
+	bySig := make(map[string]*series)
+	sig := func(labels []Label) string {
+		parts := make([]string, 0, len(labels))
+		for _, l := range labels {
+			if l.Key == "le" {
+				continue
+			}
+			parts = append(parts, l.Key+"\x00"+l.Value)
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "\x01")
+	}
+	get := func(labels []Label) *series {
+		k := sig(labels)
+		s := bySig[k]
+		if s == nil {
+			s = &series{}
+			bySig[k] = s
+		}
+		return s
+	}
+	for _, sm := range f.Samples {
+		switch {
+		case strings.HasSuffix(sm.Name, "_bucket"):
+			le := math.NaN()
+			for _, l := range sm.Labels {
+				if l.Key == "le" {
+					v, err := parseValue(l.Value)
+					if err != nil {
+						return fmt.Errorf("obs: %s: bad le %q", f.Name, l.Value)
+					}
+					le = v
+				}
+			}
+			if math.IsNaN(le) {
+				return fmt.Errorf("obs: %s has a _bucket sample without le", f.Name)
+			}
+			s := get(sm.Labels)
+			s.les = append(s.les, le)
+			s.counts = append(s.counts, sm.Value)
+		case strings.HasSuffix(sm.Name, "_count"):
+			s := get(sm.Labels)
+			s.count = sm.Value
+			s.hasCnt = true
+		}
+	}
+	for _, s := range bySig {
+		idx := make([]int, len(s.les))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.les[idx[a]] < s.les[idx[b]] })
+		prev := math.Inf(-1)
+		prevCount := 0.0
+		sawInf := false
+		for _, i := range idx {
+			if s.les[i] == prev {
+				return fmt.Errorf("obs: %s has duplicate le=%v buckets", f.Name, prev)
+			}
+			if s.counts[i] < prevCount {
+				return fmt.Errorf("obs: %s buckets are not cumulative", f.Name)
+			}
+			prev, prevCount = s.les[i], s.counts[i]
+			sawInf = sawInf || math.IsInf(s.les[i], 1)
+		}
+		if !sawInf {
+			return fmt.Errorf("obs: %s is missing the +Inf bucket", f.Name)
+		}
+		if s.hasCnt && s.count != prevCount {
+			return fmt.Errorf("obs: %s _count %v != +Inf bucket %v", f.Name, s.count, prevCount)
+		}
+	}
+	return nil
+}
+
+// FindFamily returns the family with the given name, or nil.
+func FindFamily(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// SampleValue returns the value of the sample with the given full name
+// and exactly the given labels (order-insensitive), searching every
+// family.
+func SampleValue(fams []Family, name string, labels ...Label) (float64, bool) {
+	for i := range fams {
+		for _, sm := range fams[i].Samples {
+			if sm.Name == name && labelsMatch(sm.Labels, labels) {
+				return sm.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func labelsMatch(got, want []Label) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g.Key == w.Key && g.Value == w.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramQuantile estimates the q-quantile of a parsed histogram
+// family's series with exactly the given (non-le) labels.
+func HistogramQuantile(fams []Family, name string, q float64, labels ...Label) (float64, bool) {
+	f := FindFamily(fams, name)
+	if f == nil || f.Type != "histogram" {
+		return 0, false
+	}
+	type pt struct{ le, cum float64 }
+	var pts []pt
+	for _, sm := range f.Samples {
+		if !strings.HasSuffix(sm.Name, "_bucket") {
+			continue
+		}
+		le := math.NaN()
+		rest := make([]Label, 0, len(sm.Labels))
+		for _, l := range sm.Labels {
+			if l.Key == "le" {
+				le, _ = parseValue(l.Value)
+				continue
+			}
+			rest = append(rest, l)
+		}
+		if labelsMatch(rest, labels) && !math.IsNaN(le) {
+			pts = append(pts, pt{le, sm.Value})
+		}
+	}
+	if len(pts) == 0 {
+		return 0, false
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].le < pts[b].le })
+	uppers := make([]float64, len(pts))
+	cum := make([]float64, len(pts))
+	for i, p := range pts {
+		uppers[i], cum[i] = p.le, p.cum
+	}
+	return BucketQuantile(q, uppers, cum), true
+}
+
+// BucketQuantile estimates the q-quantile from cumulative bucket counts
+// with inclusive upper bounds (the last usually +Inf), interpolating
+// linearly within the owning bucket. An estimate falling in the +Inf
+// bucket returns the highest finite bound.
+func BucketQuantile(q float64, uppers, cum []float64) float64 {
+	if len(uppers) == 0 || len(uppers) != len(cum) {
+		return 0
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * total
+	i := sort.SearchFloat64s(cum, target)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	if math.IsInf(uppers[i], 1) {
+		if i == 0 {
+			return 0
+		}
+		return uppers[i-1]
+	}
+	lo, prev := 0.0, 0.0
+	if i > 0 {
+		lo, prev = uppers[i-1], cum[i-1]
+	}
+	if cum[i] == prev {
+		return uppers[i]
+	}
+	return lo + (uppers[i]-lo)*(target-prev)/(cum[i]-prev)
+}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/task"
 )
@@ -379,7 +380,9 @@ func solveCore(ctx context.Context, r *grid.Runner, set *task.Set, idxs []int, c
 	wcsCfg := c.Solver
 	wcsCfg.Objective = core.WorstCase
 	wcsCfg.WarmStart = nil
+	wcsDone := obs.StartSpan(ctx, "solve_wcs")
 	wcs, err := r.BuildScheduleContext(ctx, sub, wcsCfg)
+	wcsDone()
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return coreOut{fatal: err}
@@ -401,7 +404,9 @@ func solveCore(ctx context.Context, r *grid.Runner, set *task.Set, idxs []int, c
 		acsCfg := c.Solver
 		acsCfg.Objective = core.AverageCase
 		acsCfg.WarmStart = wcs
+		acsDone := obs.StartSpan(acsCtx, "solve_acs")
 		acs, err := r.BuildScheduleContext(acsCtx, sub, acsCfg)
+		acsDone()
 		if cancel != nil {
 			cancel()
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 )
 
 // The micro-batching dispatcher.
@@ -33,7 +34,8 @@ type job struct {
 	key string
 	ctx context.Context
 	do  func(ctx context.Context) any
-	out chan any // buffered(1); receives the group result exactly once
+	out chan any  // buffered(1); receives the group result exactly once
+	enq time.Time // when the job entered the dispatcher (batch_assembly span)
 }
 
 type dispatcher struct {
@@ -67,7 +69,7 @@ func newDispatcher(base context.Context, runner *grid.Runner, batchSize int, win
 // result. Identical keys in one batch share one execution; across batches
 // the content-addressed memo provides the same guarantee one level down.
 func (d *dispatcher) run(ctx context.Context, key string, do func(ctx context.Context) any) (any, error) {
-	j := &job{key: key, ctx: ctx, do: do, out: make(chan any, 1)}
+	j := &job{key: key, ctx: ctx, do: do, out: make(chan any, 1), enq: time.Now()}
 	select {
 	case d.jobs <- j:
 	case <-ctx.Done():
@@ -132,6 +134,15 @@ func (d *dispatcher) dispatch(batch []*job) {
 			ctxs[k] = j.ctx
 		}
 		ctx, cancel := joinContexts(d.base, ctxs)
+		// joinContexts derives from the base context, so request-scoped
+		// values (the trace) are dropped; reattach the first requester's
+		// trace so solve-stage spans land on the request that opened the
+		// group. Purely observational — context values never reach the
+		// solve's inputs, so coalescing still cannot change response bytes.
+		ctx = obs.ContextWithTrace(ctx, obs.TraceFrom(jobs[0].ctx))
+		for _, j := range jobs {
+			obs.RecordSpan(j.ctx, "batch_assembly", j.enq)
+		}
 		res := d.runGroup(jobs[0].do, ctx)
 		cancel()
 		for _, j := range jobs {

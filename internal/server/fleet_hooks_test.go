@@ -178,10 +178,10 @@ func TestSessionTakeoverAndRefresh(t *testing.T) {
 	if code != http.StatusOK || resp != want[2] {
 		t.Fatalf("replay on B: %d %q, want the reference bytes", code, resp)
 	}
-	if n := srvB.nRestored.Load(); n == 0 {
+	if n := srvB.m.restored.Value(); n == 0 {
 		t.Error("B answered without a takeover restore")
 	}
-	if n := srvA.nRestored.Load(); n == 0 {
+	if n := srvA.m.restored.Value(); n == 0 {
 		t.Error("A answered batch 3 without refreshing its stale fold")
 	}
 	// Status reads also restore lazily: a third server can answer them.

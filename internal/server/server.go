@@ -15,6 +15,7 @@
 //	GET  /v1/sessions/{id}          session estimator/adaptation state
 //	GET  /v1/stats                  cache, batching and request counters
 //	GET  /v1/healthz                liveness probe
+//	GET  /metrics                   Prometheus text exposition (DESIGN.md §13)
 //
 // Determinism contract: the response body of every submit, get and compare
 // request is a pure function of the request body — byte-identical regardless
@@ -52,12 +53,12 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -147,6 +148,14 @@ type Options struct {
 	// ("handler.panic", "pipeline.panic") for the chaos harness. Production
 	// deployments leave it nil.
 	Faults *fault.Registry
+	// ObserveSink, when non-nil, receives every successfully folded
+	// observation batch: the session id, the model the session's current
+	// schedule was solved against, and the batch's rows (plan order, one
+	// per hyper-period). This is the trace-recording hook behind schedd's
+	// -trace-dir. Called synchronously after the fold, outside the session
+	// lock's critical decisions — it must not mutate rows and must not
+	// block for long. Responses never depend on it.
+	ObserveSink func(sessionID string, model *task.Set, rows [][]float64)
 	// Logf, when non-nil, receives operational log lines (panics, the first
 	// checkpoint failure). Responses never depend on it.
 	Logf func(format string, args ...any)
@@ -221,10 +230,10 @@ type Server struct {
 	// restore solve per missing session, not one per racing request.
 	restoreMu sync.Mutex
 
-	nSubmits, nGets, nCompares, nSessions, nObserves atomic.Int64
-	nRestored, nCheckpointErrs                       atomic.Int64
-	nShed, nDegraded, nPanics                        atomic.Int64
-	ckptLogOnce                                      sync.Once
+	// m owns the metric registry: every counter /v1/stats reports and
+	// GET /metrics exposes (one source of truth — see metrics.go).
+	m           *serverMetrics
+	ckptLogOnce sync.Once
 }
 
 // New constructs a Server with its own bounded memo and grid runner (or, when
@@ -250,10 +259,18 @@ func New(opts Options) *Server {
 		admit:    make(chan struct{}, o.MaxInflight),
 		requests: make(map[string]*canonicalRequest),
 		sessions: make(map[string]*serverSession),
+		m:        newServerMetrics(),
+	}
+	// A tiered store backend gains per-tier latency histograms; the
+	// assertion keeps server decoupled from internal/store.
+	if so, ok := o.Store.(interface {
+		SetObserver(func(tier, op string, seconds float64))
+	}); ok {
+		so.SetObserver(s.m.observeTier)
 	}
 	s.disp = newDispatcher(base, s.runner, o.BatchSize, o.BatchWindow)
 	s.disp.onPanic = func(p any) {
-		s.nPanics.Add(1)
+		s.m.panics.Inc()
 		s.logf("panic in solve pipeline: %v\n%s", p, debug.Stack())
 	}
 	mux := http.NewServeMux()
@@ -265,28 +282,45 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.m.reg)
 	mux.HandleFunc("PUT /v1/internal/blobs/{name}", s.handleBlobPut)
 	mux.HandleFunc("GET /v1/internal/blobs/{name}", s.handleBlobGet)
 	s.mux = mux
+	s.registerDerived()
 	return s
 }
 
 // Handler returns the service's HTTP handler: the mux wrapped in panic
 // isolation — a panicking handler costs its request a 500 and bumps a
 // counter; it never kills the daemon (solve-pipeline panics are recovered
-// one level down, in the dispatcher).
+// one level down, in the dispatcher) — plus the observability middleware:
+// a per-request trace (the inbound X-Trace-Id is honoured, otherwise one
+// is minted; it is echoed on the response) whose spans feed the per-stage
+// latency histograms, and an end-to-end request-latency observation.
+// Traces travel in context values and headers only, never in bodies, so
+// the byte-determinism contract is untouched.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		cw := &committedWriter{ResponseWriter: w}
+		endpoint := endpointOf(r.URL.Path)
+		t0 := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
-				s.nPanics.Add(1)
+				s.m.panics.Inc()
 				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
 				if !cw.committed {
 					writeResult(cw, errorf(http.StatusInternalServerError, "internal error"))
 				}
 			}
+			s.m.observeRequest(endpoint, time.Since(t0).Seconds())
 		}()
+		tid := r.Header.Get(obs.TraceHeader)
+		if tid == "" {
+			tid = obs.NewTraceID()
+		}
+		cw.Header().Set(obs.TraceHeader, tid)
+		tr := obs.NewTrace(tid, s.m.observeStage)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
 		s.mux.ServeHTTP(cw, r)
 	})
 }
@@ -333,7 +367,7 @@ func (s *Server) failpoint(name string) {
 // failure is logged; the rest only count — a dying disk must not turn every
 // observe into a log line.
 func (s *Server) noteCheckpointErr(err error) {
-	s.nCheckpointErrs.Add(1)
+	s.m.checkpointErrs.Inc()
 	s.ckptLogOnce.Do(func() {
 		s.logf("checkpoint write failing (serving continues; state will not survive a restart): %v", err)
 	})
@@ -350,17 +384,22 @@ func (s *Server) acquire(ctx context.Context) (func(), *apiError) {
 		return func() { <-s.admit }, nil
 	default:
 	}
+	// Slow path: the request queues. The wait is a trace span — the
+	// fast path above records nothing, so admission_wait measures real
+	// queueing, not the uncontended probe.
+	t0 := time.Now()
 	timer := time.NewTimer(s.opts.QueueWait)
 	defer timer.Stop()
 	select {
 	case s.admit <- struct{}{}:
+		obs.RecordSpan(ctx, "admission_wait", t0)
 		return func() { <-s.admit }, nil
 	case <-ctx.Done():
 		return nil, errorf(http.StatusServiceUnavailable, "request abandoned while queued")
 	case <-s.base.Done():
 		return nil, errorf(http.StatusServiceUnavailable, "shutting down")
 	case <-timer.C:
-		s.nShed.Add(1)
+		s.m.shed.Inc()
 		return nil, errorf(http.StatusServiceUnavailable,
 			"overloaded: %d requests in flight and the admission queue wait expired", s.opts.MaxInflight)
 	}
@@ -679,7 +718,9 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
 		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
 	}
+	wcsDone := obs.StartSpan(ctx, "solve_wcs")
 	wcs, err := s.runner.BuildScheduleContext(ctx, cr.set, cr.config(core.WorstCase))
+	wcsDone()
 	if err != nil {
 		return solveError("wcs synthesis", err)
 	}
@@ -699,7 +740,9 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 		}
 		acsCfg := cr.config(core.AverageCase)
 		acsCfg.WarmStart = wcs
+		acsDone := obs.StartSpan(acsCtx, "solve_acs")
 		acs, err := s.runner.BuildScheduleContext(acsCtx, cr.set, acsCfg)
+		acsDone()
 		if cancel != nil {
 			cancel()
 		}
@@ -708,7 +751,7 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 				// Budget exhausted, requester still here: serve the WCS
 				// schedule — worst-case feasible, deadline-safe — marked
 				// degraded instead of failing the request.
-				s.nDegraded.Add(1)
+				s.m.degraded.Inc()
 				resp.Degraded = true
 				resp.Pieces = len(wcs.Plan.Subs)
 				resp.Sweeps = wcs.Sweeps
@@ -761,7 +804,9 @@ func (s *Server) buildScheduleResponse(ctx context.Context, cr *canonicalRequest
 func (s *Server) buildPartitionResponse(ctx context.Context, cr *canonicalRequest, fp string) any {
 	pcfg := cr.partitionConfig()
 	pcfg.ACSBudget = s.opts.SolveBudget
+	solveDone := obs.StartSpan(ctx, "solve_partition")
 	res, err := partition.Solve(ctx, s.runner, cr.set, pcfg)
+	solveDone()
 	if err != nil {
 		return solveError("partitioned synthesis", err)
 	}
@@ -815,7 +860,7 @@ func (s *Server) buildPartitionResponse(ctx context.Context, cr *canonicalReques
 		resp.ImprovementPct = &imp
 	}
 	if resp.Degraded {
-		s.nDegraded.Add(1)
+		s.m.degraded.Inc()
 	}
 	return resp
 }
@@ -827,13 +872,17 @@ func (s *Server) buildCompareResponse(ctx context.Context, cr *canonicalRequest,
 	if err := core.Feasible(cr.set, cr.config(core.WorstCase)); err != nil {
 		return errorf(http.StatusUnprocessableEntity, "admission: %v", err)
 	}
+	wcsDone := obs.StartSpan(ctx, "solve_wcs")
 	wcs, err := s.runner.BuildScheduleContext(ctx, cr.set, cr.config(core.WorstCase))
+	wcsDone()
 	if err != nil {
 		return solveError("wcs synthesis", err)
 	}
 	acsCfg := cr.config(core.AverageCase)
 	acsCfg.WarmStart = wcs
+	acsDone := obs.StartSpan(ctx, "solve_acs")
 	acs, err := s.runner.BuildScheduleContext(ctx, cr.set, acsCfg)
+	acsDone()
 	if err != nil {
 		return solveError("acs synthesis", err)
 	}
@@ -845,6 +894,7 @@ func (s *Server) buildCompareResponse(ctx context.Context, cr *canonicalRequest,
 	if err != nil {
 		return solveError("wcs compile", err)
 	}
+	simDone := obs.StartSpan(ctx, "sim")
 	imp, ra, rb, err := sim.ComparePlans(pa, pb, sim.Config{
 		Policy:       sim.Greedy,
 		Hyperperiods: hyperperiods,
@@ -852,6 +902,7 @@ func (s *Server) buildCompareResponse(ctx context.Context, cr *canonicalRequest,
 		Workers:      s.opts.SimWorkers,
 		Ctx:          ctx,
 	})
+	simDone()
 	if err != nil {
 		return solveError("simulation", err)
 	}
@@ -1008,7 +1059,7 @@ func writeResult(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	s.nSubmits.Add(1)
+	s.m.submits.Inc()
 	s.failpoint("handler.panic")
 	release, e := s.acquire(r.Context())
 	if e != nil {
@@ -1043,7 +1094,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	s.nGets.Add(1)
+	s.m.gets.Inc()
 	release, e := s.acquire(r.Context())
 	if e != nil {
 		writeResult(w, e)
@@ -1070,7 +1121,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	s.nCompares.Add(1)
+	s.m.compares.Inc()
 	release, e := s.acquire(r.Context())
 	if e != nil {
 		writeResult(w, e)
@@ -1126,29 +1177,32 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	writeResult(w, v)
 }
 
+// handleStats reports operational counters. Every value here is a read
+// of the same registry /metrics scrapes (see metrics.go) — one source of
+// truth, pinned by TestStatsMatchesMetrics.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	stored := len(s.requests)
 	sessions := len(s.sessions)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, &StatsResponse{
-		Submits:          s.nSubmits.Load(),
-		Gets:             s.nGets.Load(),
-		Compares:         s.nCompares.Load(),
+		Submits:          s.m.submits.Value(),
+		Gets:             s.m.gets.Value(),
+		Compares:         s.m.compares.Value(),
 		Batches:          s.disp.batches.Load(),
 		Coalesced:        s.disp.coalesced.Load(),
 		Stored:           stored,
 		Workers:          s.runner.Workers(),
 		BatchSize:        s.opts.BatchSize,
 		Sessions:         sessions,
-		SessionCreates:   s.nSessions.Load(),
-		Observes:         s.nObserves.Load(),
-		RestoredSessions: s.nRestored.Load(),
-		CheckpointErrors: s.nCheckpointErrs.Load(),
+		SessionCreates:   s.m.sessionCreates.Value(),
+		Observes:         s.m.observes.Value(),
+		RestoredSessions: s.m.restored.Value(),
+		CheckpointErrors: s.m.checkpointErrs.Value(),
 		Inflight:         len(s.admit),
-		Shed:             s.nShed.Load(),
-		Degraded:         s.nDegraded.Load(),
-		Panics:           s.nPanics.Load(),
+		Shed:             s.m.shed.Value(),
+		Degraded:         s.m.degraded.Value(),
+		Panics:           s.m.panics.Value(),
 		Memo:             s.memo.Stats(),
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/feedback"
@@ -71,6 +72,13 @@ func (s *Server) sessionOptions(sess *serverSession) feedback.Options {
 		Relearn: sess.relearnEvery,
 	}
 	opts.Solver.WarmStart = nil // managed by the controller
+	// Feed every solve-pipeline run into the feedback_resolve stage
+	// histogram. Adaptation *counters* come from controller deltas around
+	// ObserveChunk instead, so the initial session-create solve is timed
+	// here but never counted as an adaptation.
+	opts.OnResolve = func(d time.Duration) {
+		s.m.observeStage("feedback_resolve", d.Seconds())
+	}
 	return opts
 }
 
@@ -154,13 +162,13 @@ func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
 		}
 		blob, ok, err := s.opts.Checkpoints.GetBlob(name)
 		if err != nil || !ok {
-			s.nCheckpointErrs.Add(1)
+			s.m.checkpointErrs.Inc()
 			continue
 		}
 		var cp sessionCheckpoint
 		if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil ||
 			cp.ID == "" || "session-"+cp.ID != name {
-			s.nCheckpointErrs.Add(1)
+			s.m.checkpointErrs.Inc()
 			continue
 		}
 		sess := &serverSession{
@@ -174,7 +182,7 @@ func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
 			if ctx != nil && ctx.Err() != nil {
 				return restored, err // canceled boot, not a bad checkpoint
 			}
-			s.nCheckpointErrs.Add(1)
+			s.m.checkpointErrs.Inc()
 			continue
 		}
 		sess.ctrl = ctrl
@@ -191,7 +199,7 @@ func (s *Server) RestoreSessions(ctx context.Context) (int, error) {
 		}
 		s.mu.Unlock()
 		restored++
-		s.nRestored.Add(1)
+		s.m.restored.Inc()
 	}
 	return restored, nil
 }
@@ -319,7 +327,7 @@ func (s *Server) sessionLimitError() *apiError {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	s.nSessions.Add(1)
+	s.m.sessionCreates.Inc()
 	release, e := s.acquire(r.Context())
 	if e != nil {
 		writeResult(w, e)
@@ -471,7 +479,7 @@ func (s *Server) sessionOrRestore(ctx context.Context, id string) (*serverSessio
 	}
 	var cp sessionCheckpoint
 	if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil || cp.ID != id {
-		s.nCheckpointErrs.Add(1)
+		s.m.checkpointErrs.Inc()
 		return nil, nil
 	}
 	sess := &serverSession{
@@ -485,7 +493,7 @@ func (s *Server) sessionOrRestore(ctx context.Context, id string) (*serverSessio
 		if ctx != nil && ctx.Err() != nil {
 			return nil, errorf(http.StatusServiceUnavailable, "session restore canceled")
 		}
-		s.nCheckpointErrs.Add(1)
+		s.m.checkpointErrs.Inc()
 		return nil, nil
 	}
 	sess.ctrl = ctrl
@@ -501,7 +509,7 @@ func (s *Server) sessionOrRestore(ctx context.Context, id string) (*serverSessio
 		s.sessionSeq = seq
 	}
 	s.mu.Unlock()
-	s.nRestored.Add(1)
+	s.m.restored.Inc()
 	return sess, nil
 }
 
@@ -523,7 +531,7 @@ func (s *Server) refreshSessionLocked(ctx context.Context, sess *serverSession) 
 	}
 	var cp sessionCheckpoint
 	if json.Unmarshal(blob, &cp) != nil || cp.Controller == nil || cp.ID != sess.id {
-		s.nCheckpointErrs.Add(1)
+		s.m.checkpointErrs.Inc()
 		return
 	}
 	if cp.Controller.Observed <= sess.ctrl.Observed() {
@@ -536,11 +544,11 @@ func (s *Server) refreshSessionLocked(ctx context.Context, sess *serverSession) 
 	sess.ctrl = ctrl
 	sess.lastAt = cp.LastAt
 	sess.lastResp = cp.LastResp
-	s.nRestored.Add(1)
+	s.m.restored.Inc()
 }
 
 func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
-	s.nObserves.Add(1)
+	s.m.observes.Inc()
 	release, e := s.acquire(r.Context())
 	if e != nil {
 		writeResult(w, e)
@@ -600,10 +608,18 @@ func (s *Server) handleSessionObserve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	prev := sess.ctrl.Observed()
+	prevDrifts, prevResolves := sess.ctrl.DriftsFired(), sess.ctrl.Resolves()
 	d, err := sess.ctrl.ObserveChunk(ctx, req.Hyperperiods)
 	if err != nil {
 		writeResult(w, solveError("observe", err))
 		return
+	}
+	// Controller deltas, not raw totals: a restored controller carries its
+	// lifetime counts, so only what *this* batch caused is added here.
+	s.m.driftsFired.Add(sess.ctrl.DriftsFired() - prevDrifts)
+	s.m.feedbackSolves.Add(sess.ctrl.Resolves() - prevResolves)
+	if s.opts.ObserveSink != nil {
+		s.opts.ObserveSink(sess.id, sess.ctrl.Model(), req.Hyperperiods)
 	}
 	resp := &ObserveResponse{
 		SessionID: sess.id,

@@ -44,6 +44,11 @@ type Tiered struct {
 
 	memHits  atomic.Int64
 	diskHits atomic.Int64
+
+	// observe, when set, is called with the elapsed time of every tier
+	// operation (tier "mem"|"disk", op "get"|"put"). Purely passive — it
+	// feeds latency histograms and never influences results.
+	observe func(tier, op string, seconds float64)
 }
 
 // TieredOptions tunes the degradation policy. The zero value selects the
@@ -75,18 +80,38 @@ func NewTieredWith(mem grid.Store, disk *Disk, opts TieredOptions) *Tiered {
 // Breaker exposes the disk circuit breaker (tests drive its clock).
 func (t *Tiered) Breaker() *fault.Breaker { return t.breaker }
 
+// SetObserver installs a per-operation latency observer. Must be called
+// before the store starts serving requests (the server installs it at
+// construction); fn must be safe for concurrent calls.
+func (t *Tiered) SetObserver(fn func(tier, op string, seconds float64)) { t.observe = fn }
+
+// timeOp starts timing one tier operation; the returned closure reports
+// it. Reads no clock when no observer is installed.
+func (t *Tiered) timeOp(tier, op string) func() {
+	if t.observe == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { t.observe(tier, op, time.Since(t0).Seconds()) }
+}
+
 // GetSchedule implements grid.Store: memory first, then disk with promotion.
 // With the breaker open the disk probe is skipped entirely — the entry is
 // simply a miss, and the caller rebuilds it into the memory tier.
 func (t *Tiered) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
-	if s, err, ok := t.mem.GetSchedule(key); ok {
+	memDone := t.timeOp("mem", "get")
+	s, err, ok := t.mem.GetSchedule(key)
+	memDone()
+	if ok {
 		t.memHits.Add(1)
 		return s, err, true
 	}
 	if !t.breaker.Allow() {
 		return nil, nil, false
 	}
+	diskDone := t.timeOp("disk", "get")
 	s, cached, ok, ioErr := t.disk.TryGetSchedule(key)
+	diskDone()
 	if ioErr != nil {
 		t.breaker.Record(ioErr)
 		return nil, nil, false
@@ -108,14 +133,19 @@ func (t *Tiered) GetSchedule(key grid.Key) (*core.Schedule, error, bool) {
 // failures and unencodable schedules), with the disk append gated and
 // scored by the breaker.
 func (t *Tiered) PutSchedule(key grid.Key, s *core.Schedule, err error) {
+	memDone := t.timeOp("mem", "put")
 	t.mem.PutSchedule(key, s, err)
+	memDone()
 	if !t.breaker.Allow() {
 		return
 	}
 	if err != nil || s == nil {
 		return // the disk tier would skip it; don't score a no-op
 	}
-	t.breaker.Record(t.disk.TryPutSchedule(key, s, err))
+	diskDone := t.timeOp("disk", "put")
+	putErr := t.disk.TryPutSchedule(key, s, err)
+	diskDone()
+	t.breaker.Record(putErr)
 }
 
 // GetPlan implements grid.Store; plans are memory-only.

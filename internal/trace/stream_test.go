@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func streamSet() *task.Set {
+	return &task.Set{Tasks: []task.Task{
+		{Name: "a", Period: 10, WCEC: 100, ACEC: 60, BCEC: 20, Ceff: 1},
+		{Name: "b", Period: 20, WCEC: 200, ACEC: 120, BCEC: 40, Ceff: 1},
+	}}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	in := &Stream{
+		Tasks:     streamSet().Tasks,
+		Instances: 3,
+		Rows: [][]float64{
+			{50, 60, 110},
+			{55, 58, 130},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tasks) != 2 || out.Instances != 3 || len(out.Rows) != 2 {
+		t.Fatalf("round trip lost shape: %+v", out)
+	}
+	for i := range in.Rows {
+		for j := range in.Rows[i] {
+			if out.Rows[i][j] != in.Rows[i][j] {
+				t.Fatalf("row %d[%d] = %v, want %v", i, j, out.Rows[i][j], in.Rows[i][j])
+			}
+		}
+	}
+	if out.Set().N() != 2 {
+		t.Fatalf("Set() has %d tasks", out.Set().N())
+	}
+}
+
+func TestStreamIncrementalWriter(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, streamSet(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Append([][]float64{{3, 4}, {5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 || s.Rows[2][1] != 6 {
+		t.Fatalf("incremental rows = %v", s.Rows)
+	}
+	// A writer flushed before any Append still identifies itself.
+	var empty bytes.Buffer
+	sw2, _ := NewStreamWriter(&empty, streamSet(), 2)
+	if err := sw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	es, err := ReadStream(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Rows) != 0 || es.Instances != 2 {
+		t.Fatalf("empty stream = %+v", es)
+	}
+	// Width mismatches are refused at append time.
+	if err := sw.Append([][]float64{{1}}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+// TestStreamTruncatedTail pins the append-friendly property: a recording
+// cut mid-run still yields its complete prefix.
+func TestStreamTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, &Stream{Tasks: streamSet().Tasks, Instances: 1, Rows: [][]float64{{1}, {2}, {3}}}); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	cut := whole[:strings.LastIndex(strings.TrimRight(whole, "\n"), "\n")+1]
+	s, err := ReadStream(strings.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("prefix rows = %d, want 2", len(s.Rows))
+	}
+}
+
+func TestStreamRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "nope\n",
+		"wrong version":  `{"v":2,"instances":1,"tasks":[{"name":"a","period_ms":10,"wcec":1,"acec":1,"bcec":1,"ceff":1}]}` + "\n",
+		"no tasks":       `{"v":1,"instances":1,"tasks":[]}` + "\n",
+		"zero width":     `{"v":1,"instances":0,"tasks":[{"name":"a","period_ms":10,"wcec":1,"acec":1,"bcec":1,"ceff":1}]}` + "\n",
+		"width mismatch": `{"v":1,"instances":2,"tasks":[{"name":"a","period_ms":10,"wcec":1,"acec":1,"bcec":1,"ceff":1}]}` + "\n[1]\n",
+		"negative cycle": `{"v":1,"instances":1,"tasks":[{"name":"a","period_ms":10,"wcec":1,"acec":1,"bcec":1,"ceff":1}]}` + "\n[-1]\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadStream(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed stream", name)
+		}
+	}
+}
